@@ -1,0 +1,61 @@
+// Command datasetgen emits a synthetic measurement dataset as JSONL — the
+// stand-in for the paper's 23.6M-test corpus, calibrated to every finding of
+// §3 (see internal/dataset). The output feeds cmd/analyze.
+//
+// Usage:
+//
+//	datasetgen [-n 1000000] [-year 2021] [-seed 1] [-o records.jsonl]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/mobilebandwidth/swiftest/internal/dataset"
+)
+
+func main() {
+	n := flag.Int("n", 1_000_000, "number of records to generate")
+	year := flag.Int("year", 2021, "measurement year (2020 or 2021)")
+	seed := flag.Int64("seed", 1, "RNG seed")
+	out := flag.String("o", "-", "output file (\"-\" for stdout)")
+	flag.Parse()
+
+	if err := run(*n, *year, *seed, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "datasetgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(n, year int, seed int64, out string) error {
+	gen, err := dataset.NewGenerator(dataset.Config{Year: year, Seed: seed})
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	// Stream in batches to bound memory for very large n.
+	const batch = 100_000
+	for remaining := n; remaining > 0; {
+		size := batch
+		if remaining < size {
+			size = remaining
+		}
+		if err := dataset.WriteJSONL(w, gen.Generate(size)); err != nil {
+			return err
+		}
+		remaining -= size
+	}
+	if out != "-" {
+		fmt.Fprintf(os.Stderr, "wrote %d records for %d to %s\n", n, year, out)
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+// Command deployplan runs the §5.2 cost-effective server deployment planner:
+// it estimates the egress bandwidth a test workload needs, solves the
+// integer-linear purchase problem with branch-and-bound, and places the
+// purchased servers across the eight core-IXP domains.
+//
+// Usage:
+//
+//	deployplan [-tests-per-day 10000] [-avg-duration 1.2s] [-avg-bandwidth 300]
+//	           [-peak 3] [-margin 0.075] [-min-servers 20]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/mobilebandwidth/swiftest/internal/deploy"
+)
+
+func main() {
+	testsPerDay := flag.Float64("tests-per-day", 10000, "expected daily bandwidth tests")
+	avgDur := flag.Duration("avg-duration", 1200*time.Millisecond, "average test duration")
+	avgBW := flag.Float64("avg-bandwidth", 300, "average client access bandwidth (Mbps)")
+	peak := flag.Float64("peak", 3, "peak-to-mean concurrency factor")
+	margin := flag.Float64("margin", 0.075, "burst headroom over the estimate (0.05–0.10)")
+	minServers := flag.Int("min-servers", 20, "geographic-coverage minimum server count")
+	flag.Parse()
+
+	if err := run(*testsPerDay, *avgDur, *avgBW, *peak, *margin, *minServers); err != nil {
+		fmt.Fprintln(os.Stderr, "deployplan:", err)
+		os.Exit(1)
+	}
+}
+
+func run(testsPerDay float64, avgDur time.Duration, avgBW, peak, margin float64, minServers int) error {
+	w := deploy.Workload{
+		TestsPerDay:     testsPerDay,
+		AvgTestDuration: avgDur,
+		AvgBandwidth:    avgBW,
+		PeakFactor:      peak,
+	}
+	required := w.RequiredMbps()
+	fmt.Printf("workload: %.0f tests/day × %v × %.0f Mbps, peak ×%.1f\n",
+		testsPerDay, avgDur, avgBW, peak)
+	fmt.Printf("estimated egress requirement: %.0f Mbps (+%.1f %% margin → %.0f Mbps)\n",
+		required, margin*100, required*(1+margin))
+
+	catalogue := deploy.SyntheticCatalogue()
+	plan, err := deploy.PlanPurchase(catalogue, required, margin, deploy.PlanOptions{MinServers: minServers})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\npurchase plan ($%.2f/month, %.0f Mbps total, %d branch-and-bound nodes):\n",
+		plan.MonthlyCost, plan.TotalMbps, plan.NodesExplored)
+	for _, pu := range plan.Purchases {
+		fmt.Printf("  %3d × %-14s %6.0f Mbps  $%8.2f/mo each\n",
+			pu.Count, pu.Config.Name, pu.Config.BandwidthMbps, pu.Config.PricePerMonth)
+	}
+
+	placements, err := deploy.PlaceServers(plan, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nplacement (one entry per core IXP domain, §5.2):")
+	for _, p := range placements {
+		fmt.Printf("  %-10s %2d servers, %6.0f Mbps\n", p.Domain, len(p.Servers), p.Mbps)
+	}
+
+	legacy, err := deploy.LegacyBTSAppFleet(catalogue)
+	if err == nil {
+		fmt.Printf("\nvs BTS-APP's allocation (50 × 1 Gbps): $%.2f/mo — %.1f× more expensive\n",
+			legacy.MonthlyCost, legacy.MonthlyCost/plan.MonthlyCost)
+	}
+	return nil
+}

@@ -1,0 +1,354 @@
+// Command swiftest is the deployable CLI of the Swiftest bandwidth testing
+// service: run a test server, run a client bandwidth test against a server
+// pool, or ping servers for latency.
+//
+// Usage:
+//
+//	swiftest serve  [-addr :7007] [-uplink 100] [-v]
+//	swiftest test   -servers host1:7007[@uplink],host2:7007[@uplink] [-tech 5G] [-max 5s] [-json]
+//	swiftest ping   -servers host1:7007,host2:7007 [-count 3]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	swiftest "github.com/mobilebandwidth/swiftest"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "serve":
+		err = serve(os.Args[2:])
+	case "test":
+		err = test(os.Args[2:])
+	case "ping":
+		err = ping(os.Args[2:])
+	case "simulate":
+		err = simulate(os.Args[2:])
+	case "relay":
+		err = relay(os.Args[2:])
+	case "floodserve":
+		err = floodServe(os.Args[2:])
+	case "floodtest":
+		err = floodTest(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "swiftest: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "swiftest:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `swiftest — ultra-fast, ultra-light bandwidth testing (SIGCOMM '22)
+
+commands:
+  serve       run a Swiftest UDP test server
+  test        run a Swiftest client bandwidth test against a server pool
+  ping        measure latency to servers
+  simulate    run a test on an emulated access link (no network needed)
+  relay       emulate an access link in front of a real test server
+  floodserve  run a legacy probing-by-flooding HTTP server (the BTS-APP baseline)
+  floodtest   run a legacy 10-second flooding test against HTTP servers
+
+run "swiftest <command> -h" for command flags.
+`)
+}
+
+func serve(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", ":7007", "UDP listen address")
+	uplink := fs.Float64("uplink", 100, "server egress capacity (Mbps)")
+	verbose := fs.Bool("v", false, "log test activity")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opts := swiftest.ServerOptions{UplinkMbps: *uplink}
+	if *verbose {
+		opts.Logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+	srv, err := swiftest.NewServer(*addr, opts)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Printf("swiftest server listening on %s (uplink %.0f Mbps)\n", srv.Addr(), *uplink)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Printf("shutting down; %d bytes of probe traffic sent\n", srv.BytesSent())
+	return nil
+}
+
+// parseServers parses "host:port[@uplinkMbps]" entries; a missing uplink
+// defaults to 100 Mbps.
+func parseServers(spec string) ([]swiftest.ServerAddr, error) {
+	if spec == "" {
+		return nil, fmt.Errorf("no servers given (use -servers host:port[@uplink],...)")
+	}
+	var out []swiftest.ServerAddr
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		addr, uplink := part, 100.0
+		if at := strings.LastIndex(part, "@"); at >= 0 {
+			addr = part[:at]
+			u, err := strconv.ParseFloat(part[at+1:], 64)
+			if err != nil || u <= 0 {
+				return nil, fmt.Errorf("bad uplink in %q", part)
+			}
+			uplink = u
+		}
+		out = append(out, swiftest.ServerAddr{Addr: addr, UplinkMbps: uplink})
+	}
+	return out, nil
+}
+
+func test(args []string) error {
+	fs := flag.NewFlagSet("test", flag.ExitOnError)
+	servers := fs.String("servers", "", "comma-separated host:port[@uplinkMbps] test servers")
+	tech := fs.String("tech", "5G", "access technology for the bandwidth model: 4G, 5G or WiFi")
+	modelPath := fs.String("model", "", "JSON bandwidth-model file (overrides -tech; see SaveModel)")
+	maxDur := fs.Duration("max", 5*time.Second, "probing deadline")
+	asJSON := fs.Bool("json", false, "emit the result as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	pool, err := parseServers(*servers)
+	if err != nil {
+		return err
+	}
+	var model *swiftest.Model
+	if *modelPath != "" {
+		model, err = swiftest.LoadModel(*modelPath)
+		if err != nil {
+			return err
+		}
+	} else {
+		var t swiftest.Tech
+		switch strings.ToUpper(*tech) {
+		case "4G", "LTE":
+			t = swiftest.Tech4G
+		case "5G", "NR":
+			t = swiftest.Tech5G
+		case "WIFI":
+			t = swiftest.TechWiFi
+		default:
+			return fmt.Errorf("unknown technology %q", *tech)
+		}
+		model, err = swiftest.DefaultModel(t)
+		if err != nil {
+			return err
+		}
+	}
+
+	res, err := swiftest.Test(swiftest.TestOptions{
+		Servers:     pool,
+		Model:       model,
+		MaxDuration: *maxDur,
+	})
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
+	}
+	fmt.Printf("bandwidth : %.1f Mbps\n", res.BandwidthMbps)
+	fmt.Printf("duration  : %v probing + %v server selection\n",
+		res.Duration.Round(time.Millisecond), res.SelectionTime.Round(time.Millisecond))
+	fmt.Printf("data used : %.1f MB over %d samples\n", res.DataMB, len(res.Samples))
+	fmt.Printf("converged : %v (initial rate %.0f Mbps, %d escalations)\n",
+		res.Converged, res.InitialRateMbps, res.RateChanges)
+	if res.Jitter > 0 {
+		fmt.Printf("jitter    : %v (interarrival, RFC 3550 style)\n", res.Jitter.Round(time.Microsecond))
+	}
+	return nil
+}
+
+func ping(args []string) error {
+	fs := flag.NewFlagSet("ping", flag.ExitOnError)
+	servers := fs.String("servers", "", "comma-separated host:port servers")
+	count := fs.Int("count", 3, "pings per server")
+	timeout := fs.Duration("timeout", time.Second, "per-ping timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	pool, err := parseServers(*servers)
+	if err != nil {
+		return err
+	}
+	exit := error(nil)
+	for _, s := range pool {
+		rtt, err := swiftest.Ping(s.Addr, *count, *timeout)
+		if err != nil {
+			fmt.Printf("%-28s unreachable (%v)\n", s.Addr, err)
+			exit = fmt.Errorf("some servers unreachable")
+			continue
+		}
+		fmt.Printf("%-28s %v\n", s.Addr, rtt.Round(time.Microsecond))
+	}
+	return exit
+}
+
+func simulate(args []string) error {
+	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
+	capMbps := fs.Float64("capacity", 300, "emulated access-link capacity (Mbps)")
+	rtt := fs.Duration("rtt", 30*time.Millisecond, "link RTT")
+	fluct := fs.Float64("noise", 0.01, "relative capacity fluctuation")
+	tech := fs.String("tech", "5G", "bandwidth model: 4G, 5G or WiFi")
+	modelPath := fs.String("model", "", "JSON bandwidth-model file (overrides -tech)")
+	seed := fs.Int64("seed", 1, "emulation seed")
+	compare := fs.Bool("compare", false, "also run the flooding/FAST/FastBTS baselines")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var model *swiftest.Model
+	var err error
+	if *modelPath != "" {
+		model, err = swiftest.LoadModel(*modelPath)
+	} else {
+		switch strings.ToUpper(*tech) {
+		case "4G", "LTE":
+			model, err = swiftest.DefaultModel(swiftest.Tech4G)
+		case "5G", "NR":
+			model, err = swiftest.DefaultModel(swiftest.Tech5G)
+		case "WIFI":
+			model, err = swiftest.DefaultModel(swiftest.TechWiFi)
+		default:
+			return fmt.Errorf("unknown technology %q", *tech)
+		}
+	}
+	if err != nil {
+		return err
+	}
+	link := swiftest.LinkConfig{CapacityMbps: *capMbps, RTT: *rtt, Fluctuation: *fluct, Seed: *seed}
+	res, err := swiftest.SimulateTest(link, model)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("swiftest : %.1f Mbps in %v, %.1f MB, converged=%v (%d escalations)\n",
+		res.BandwidthMbps, res.Duration, res.DataMB, res.Converged, res.RateChanges)
+	if !*compare {
+		return nil
+	}
+	bts, err := swiftest.RunBTSApp(link)
+	if err != nil {
+		return err
+	}
+	fast, err := swiftest.RunFAST(link)
+	if err != nil {
+		return err
+	}
+	fbts, err := swiftest.RunFastBTS(link)
+	if err != nil {
+		return err
+	}
+	for _, b := range []swiftest.BaselineReport{bts, fast, fbts} {
+		fmt.Printf("%-9s: %.1f Mbps in %v, %.1f MB\n", b.System, b.BandwidthMbps, b.Duration, b.DataMB)
+	}
+	return nil
+}
+
+func relay(args []string) error {
+	fs := flag.NewFlagSet("relay", flag.ExitOnError)
+	target := fs.String("target", "", "real test server (host:port)")
+	rate := fs.Float64("rate", 50, "bottleneck rate (Mbps)")
+	delay := fs.Duration("delay", 20*time.Millisecond, "one-way downlink delay")
+	loss := fs.Float64("loss", 0, "downlink loss probability")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *target == "" {
+		return fmt.Errorf("no target given (use -target host:port)")
+	}
+	rl, err := swiftest.NewLinkRelay(swiftest.LinkRelayConfig{
+		Target:   *target,
+		RateMbps: *rate,
+		Delay:    *delay,
+		LossRate: *loss,
+	})
+	if err != nil {
+		return err
+	}
+	defer rl.Close()
+	fmt.Printf("emulated %g Mbps / %v / %.1f%%-loss link on %s → %s\n",
+		*rate, *delay, *loss*100, rl.Addr(), *target)
+	fmt.Println("point clients at the relay address instead of the server")
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Printf("shutting down; delivered %d bytes, dropped %d datagrams\n",
+		rl.DeliveredBytes(), rl.DroppedPackets())
+	return nil
+}
+
+func floodServe(args []string) error {
+	fs := flag.NewFlagSet("floodserve", flag.ExitOnError)
+	addr := fs.String("addr", ":7008", "HTTP listen address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	srv, err := swiftest.NewFloodServer(*addr)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Printf("flooding server listening on %s (GET /chunk, GET /ping)\n", srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Printf("shutting down; %d payload bytes served\n", srv.BytesSent())
+	return nil
+}
+
+func floodTest(args []string) error {
+	fs := flag.NewFlagSet("floodtest", flag.ExitOnError)
+	urls := fs.String("urls", "", "comma-separated server base URLs (http://host:port)")
+	dur := fs.Duration("duration", 10*time.Second, "flooding duration (§2 uses 10 s)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *urls == "" {
+		return fmt.Errorf("no URLs given (use -urls http://host:port,...)")
+	}
+	rep, err := swiftest.RunFloodTest(swiftest.FloodConfig{
+		URLs:     strings.Split(*urls, ","),
+		Duration: *dur,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("bandwidth  : %.1f Mbps\n", rep.ResultMbps)
+	fmt.Printf("duration   : %v (fixed flooding window)\n", rep.Duration.Round(time.Millisecond))
+	fmt.Printf("data used  : %.1f MB over %d connections\n", rep.DataMB, rep.Conns)
+	fmt.Printf("samples    : %d\n", len(rep.Samples))
+	return nil
+}

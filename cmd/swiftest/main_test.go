@@ -1,0 +1,40 @@
+package main
+
+import "testing"
+
+func TestParseServers(t *testing.T) {
+	got, err := parseServers("a.example:7007@250, b.example:7007 ,c.example:7007@10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d servers, want 3", len(got))
+	}
+	if got[0].Addr != "a.example:7007" || got[0].UplinkMbps != 250 {
+		t.Errorf("first = %+v", got[0])
+	}
+	if got[1].Addr != "b.example:7007" || got[1].UplinkMbps != 100 {
+		t.Errorf("default uplink = %+v", got[1])
+	}
+	if got[2].UplinkMbps != 10 {
+		t.Errorf("third = %+v", got[2])
+	}
+}
+
+func TestParseServersIPv6(t *testing.T) {
+	got, err := parseServers("[::1]:7007@50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Addr != "[::1]:7007" || got[0].UplinkMbps != 50 {
+		t.Errorf("IPv6 = %+v", got[0])
+	}
+}
+
+func TestParseServersErrors(t *testing.T) {
+	for _, spec := range []string{"", "host:1@zero", "host:1@-5", "host:1@"} {
+		if _, err := parseServers(spec); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+}

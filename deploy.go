@@ -1,0 +1,36 @@
+package swiftest
+
+import (
+	"github.com/mobilebandwidth/swiftest/internal/deploy"
+)
+
+// The deployment-planning sub-API (§5.2): workload estimation, the
+// branch-and-bound ILP purchase planner, and IXP-domain placement.
+
+// ServerConfigOption is one purchasable server configuration.
+type ServerConfigOption = deploy.ServerConfig
+
+// DeployPlan is a server purchase plan.
+type DeployPlan = deploy.Plan
+
+// DeployWorkload describes expected bandwidth-testing activity.
+type DeployWorkload = deploy.Workload
+
+// Placement assigns purchased servers to an IXP domain.
+type Placement = deploy.Placement
+
+// PlanOptions carries optional planning constraints (geographic coverage).
+type PlanOptions = deploy.PlanOptions
+
+// Deployment planning functions (see package deploy for details).
+var (
+	// PlanDeployment solves the §5.2 ILP with branch-and-bound.
+	PlanDeployment = deploy.PlanPurchase
+	// PlaceAtIXPs spreads a plan's servers across the eight core-IXP domains.
+	PlaceAtIXPs = deploy.PlaceServers
+	// ServerCatalogue builds a OneProvider-like configuration catalogue.
+	ServerCatalogue = deploy.SyntheticCatalogue
+)
+
+// IXPDomains are the eight Internet-exchange domains of Mainland China.
+var IXPDomains = deploy.IXPDomains

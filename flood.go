@@ -1,0 +1,38 @@
+package swiftest
+
+import (
+	"time"
+
+	"github.com/mobilebandwidth/swiftest/internal/floodhttp"
+)
+
+// The flooding sub-API: a deployable probing-by-flooding BTS (§2), the
+// architecture of BTS-APP/Speedtest, for real-network comparisons against
+// Swiftest.
+
+// FloodServer is a running HTTP flooding test server.
+type FloodServer = floodhttp.Server
+
+// NewFloodServer starts an HTTP flooding server on addr (e.g. ":8080").
+func NewFloodServer(addr string) (*FloodServer, error) {
+	return floodhttp.NewServer(addr)
+}
+
+// FloodConfig configures a flooding client test; see floodhttp.ClientConfig.
+type FloodConfig = floodhttp.ClientConfig
+
+// FloodReport is the outcome of a flooding test.
+type FloodReport = floodhttp.Report
+
+// RunFloodTest floods the configured servers for a fixed duration over
+// parallel HTTP connections and estimates the access bandwidth with the
+// trimming rule of §2 — the 10-second, hundreds-of-MB methodology that
+// Swiftest replaces.
+func RunFloodTest(cfg FloodConfig) (FloodReport, error) {
+	return floodhttp.RunTest(cfg)
+}
+
+// PingFloodServer measures HTTP request latency to a flooding server.
+func PingFloodServer(baseURL string, timeout time.Duration) (time.Duration, error) {
+	return floodhttp.PingHTTP(baseURL, timeout)
+}

@@ -1,0 +1,3 @@
+module github.com/mobilebandwidth/swiftest
+
+go 1.24

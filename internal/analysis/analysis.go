@@ -1,0 +1,433 @@
+// Package analysis reproduces every measurement finding of §3 from a stream
+// of dataset.Record values: the year-over-year averages (Figure 1), the
+// Android-version and ISP breakdowns (Figures 2–3), the 4G/5G bandwidth
+// CDFs (Figures 4 and 7), the per-band statistics (Figures 5/6/8/9 and
+// Tables 1–2), the diurnal pattern (Figure 10), the RSS correlations
+// (Figures 11–12), the WiFi breakdowns (Figures 13–15), and the multi-modal
+// bandwidth PDFs (Figures 16/18/19) including a refreshed mixture model fit.
+//
+// Each analysis is a pure function over records, so the same code serves the
+// synthetic dataset, a JSONL dump from cmd/datasetgen, or — in a real
+// deployment — production measurement records.
+package analysis
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/mobilebandwidth/swiftest/internal/dataset"
+	"github.com/mobilebandwidth/swiftest/internal/gmm"
+	"github.com/mobilebandwidth/swiftest/internal/spectrum"
+	"github.com/mobilebandwidth/swiftest/internal/stats"
+)
+
+// TechAverages reports mean bandwidth per technology — one bar group of
+// Figure 1.
+type TechAverages struct {
+	Mean  map[dataset.Tech]float64
+	Count map[dataset.Tech]int
+}
+
+// AverageByTech computes mean bandwidth per technology.
+func AverageByTech(records []dataset.Record) TechAverages {
+	sums := map[dataset.Tech]float64{}
+	counts := map[dataset.Tech]int{}
+	for _, r := range records {
+		sums[r.Tech] += r.BandwidthMbps
+		counts[r.Tech]++
+	}
+	out := TechAverages{Mean: map[dataset.Tech]float64{}, Count: counts}
+	for tech, s := range sums {
+		out.Mean[tech] = s / float64(counts[tech])
+	}
+	return out
+}
+
+// CellularAverage reports the blended 2G–5G average of §3.1 (117 Mbps in
+// 2020 vs 135 Mbps in 2021).
+func CellularAverage(records []dataset.Record) float64 {
+	var sum float64
+	var n int
+	for _, r := range records {
+		if r.Tech != dataset.TechWiFi {
+			sum += r.BandwidthMbps
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// VersionRow is one Android version's averages (Figure 2).
+type VersionRow struct {
+	Version int
+	Mean    map[dataset.Tech]float64
+	Count   map[dataset.Tech]int
+}
+
+// ByAndroidVersion computes per-version, per-technology averages (Figure 2).
+func ByAndroidVersion(records []dataset.Record) []VersionRow {
+	type acc struct {
+		sum map[dataset.Tech]float64
+		n   map[dataset.Tech]int
+	}
+	byVer := map[int]*acc{}
+	for _, r := range records {
+		a := byVer[r.AndroidVersion]
+		if a == nil {
+			a = &acc{sum: map[dataset.Tech]float64{}, n: map[dataset.Tech]int{}}
+			byVer[r.AndroidVersion] = a
+		}
+		a.sum[r.Tech] += r.BandwidthMbps
+		a.n[r.Tech]++
+	}
+	versions := make([]int, 0, len(byVer))
+	for v := range byVer {
+		versions = append(versions, v)
+	}
+	sort.Ints(versions)
+	out := make([]VersionRow, 0, len(versions))
+	for _, v := range versions {
+		a := byVer[v]
+		row := VersionRow{Version: v, Mean: map[dataset.Tech]float64{}, Count: a.n}
+		for tech, s := range a.sum {
+			row.Mean[tech] = s / float64(a.n[tech])
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// ISPRow is one ISP's averages (Figure 3).
+type ISPRow struct {
+	ISP   spectrum.ISP
+	Mean  map[dataset.Tech]float64
+	Count map[dataset.Tech]int
+}
+
+// ByISP computes per-ISP, per-technology averages (Figure 3).
+func ByISP(records []dataset.Record) []ISPRow {
+	type acc struct {
+		sum map[dataset.Tech]float64
+		n   map[dataset.Tech]int
+	}
+	byISP := map[spectrum.ISP]*acc{}
+	for _, r := range records {
+		a := byISP[r.ISP]
+		if a == nil {
+			a = &acc{sum: map[dataset.Tech]float64{}, n: map[dataset.Tech]int{}}
+			byISP[r.ISP] = a
+		}
+		a.sum[r.Tech] += r.BandwidthMbps
+		a.n[r.Tech]++
+	}
+	out := make([]ISPRow, 0, 4)
+	for _, isp := range []spectrum.ISP{spectrum.ISP1, spectrum.ISP2, spectrum.ISP3, spectrum.ISP4} {
+		a := byISP[isp]
+		if a == nil {
+			continue
+		}
+		row := ISPRow{ISP: isp, Mean: map[dataset.Tech]float64{}, Count: a.n}
+		for tech, s := range a.sum {
+			row.Mean[tech] = s / float64(a.n[tech])
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// Distribution summarises one technology's bandwidth distribution
+// (Figures 4, 7, 13–15).
+type Distribution struct {
+	Count  int
+	Mean   float64
+	Median float64
+	Max    float64
+	CDF    []stats.CDFPoint
+	sample *stats.Sample
+}
+
+// FractionBelow reports the fraction of tests below x Mbps.
+func (d Distribution) FractionBelow(x float64) float64 {
+	if d.sample == nil {
+		return 0
+	}
+	return d.sample.FractionBelow(x)
+}
+
+// FractionAbove reports the fraction of tests above x Mbps.
+func (d Distribution) FractionAbove(x float64) float64 {
+	if d.sample == nil {
+		return 0
+	}
+	return d.sample.FractionAbove(x)
+}
+
+// MeanAbove reports the mean of tests above x Mbps.
+func (d Distribution) MeanAbove(x float64) float64 {
+	if d.sample == nil {
+		return 0
+	}
+	return d.sample.MeanAbove(x)
+}
+
+func distribute(values []float64) Distribution {
+	if len(values) == 0 {
+		return Distribution{}
+	}
+	s := stats.NewSample(values)
+	return Distribution{
+		Count:  s.N(),
+		Mean:   s.Mean(),
+		Median: s.Median(),
+		Max:    s.Max(),
+		CDF:    s.CDF(100),
+		sample: s,
+	}
+}
+
+// TechDistribution computes the bandwidth distribution of one technology
+// (Figure 4 for 4G, Figure 7 for 5G).
+func TechDistribution(records []dataset.Record, tech dataset.Tech) Distribution {
+	var xs []float64
+	for _, r := range records {
+		if r.Tech == tech {
+			xs = append(xs, r.BandwidthMbps)
+		}
+	}
+	return distribute(xs)
+}
+
+// BandRow is one frequency band's statistics (Figures 5/6 for LTE, 8/9 for
+// NR).
+type BandRow struct {
+	Band   spectrum.Band
+	Count  int
+	Mean   float64
+	HBand  bool // LTE H-Band (≥20 MHz max channel)
+	Biased bool // too few tests for a meaningful mean (§3.2's B28 caveat)
+}
+
+// ByBand computes per-band counts and means for one cellular generation,
+// ordered by downlink spectrum as in the paper's figures.
+func ByBand(records []dataset.Record, gen spectrum.Generation) []BandRow {
+	sums := map[string]float64{}
+	counts := map[string]int{}
+	for _, r := range records {
+		if r.Tech != dataset.Tech4G && r.Tech != dataset.Tech5G {
+			continue
+		}
+		b, ok := spectrum.ByName(r.Band)
+		if !ok || b.Gen != gen {
+			continue
+		}
+		sums[r.Band] += r.BandwidthMbps
+		counts[r.Band]++
+	}
+	table := spectrum.LTEBands()
+	if gen == spectrum.NR {
+		table = spectrum.NRBands()
+	}
+	var out []BandRow
+	for _, b := range table {
+		n := counts[b.Name]
+		row := BandRow{Band: b, Count: n, HBand: b.IsHBand(), Biased: n > 0 && n < 30}
+		if n > 0 {
+			row.Mean = sums[b.Name] / float64(n)
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// HBandShare reports the fraction of 4G tests carried by H-Bands (§3.2:
+// 85.6 %) and the share of the single busiest band (Band 3: 55 %).
+func HBandShare(rows []BandRow) (hbandShare float64, topBandShare float64, topBand string) {
+	var total, hband, top int
+	for _, r := range rows {
+		total += r.Count
+		if r.HBand {
+			hband += r.Count
+		}
+		if r.Count > top {
+			top = r.Count
+			topBand = r.Band.Name
+		}
+	}
+	if total == 0 {
+		return 0, 0, ""
+	}
+	return float64(hband) / float64(total), float64(top) / float64(total), topBand
+}
+
+// DiurnalRow is one hour's activity (Figure 10).
+type DiurnalRow struct {
+	Hour  int
+	Tests int
+	Mean  float64
+}
+
+// Diurnal computes per-hour test counts and mean bandwidth for a technology.
+func Diurnal(records []dataset.Record, tech dataset.Tech) []DiurnalRow {
+	sums := make([]float64, 24)
+	counts := make([]int, 24)
+	for _, r := range records {
+		if r.Tech == tech {
+			sums[r.Hour] += r.BandwidthMbps
+			counts[r.Hour]++
+		}
+	}
+	out := make([]DiurnalRow, 24)
+	for h := 0; h < 24; h++ {
+		out[h] = DiurnalRow{Hour: h, Tests: counts[h]}
+		if counts[h] > 0 {
+			out[h].Mean = sums[h] / float64(counts[h])
+		}
+	}
+	return out
+}
+
+// RSSRow is one RSS level's statistics (Figures 11 and 12).
+type RSSRow struct {
+	Level   int
+	Count   int
+	MeanSNR float64
+	MeanBW  float64
+}
+
+// ByRSSLevel computes per-RSS-level SNR and bandwidth averages for a
+// technology.
+func ByRSSLevel(records []dataset.Record, tech dataset.Tech) []RSSRow {
+	snr := make([]float64, 6)
+	bw := make([]float64, 6)
+	n := make([]int, 6)
+	for _, r := range records {
+		if r.Tech != tech || r.RSSLevel < 1 || r.RSSLevel > 5 {
+			continue
+		}
+		snr[r.RSSLevel] += r.SNRdB
+		bw[r.RSSLevel] += r.BandwidthMbps
+		n[r.RSSLevel]++
+	}
+	out := make([]RSSRow, 0, 5)
+	for lvl := 1; lvl <= 5; lvl++ {
+		row := RSSRow{Level: lvl, Count: n[lvl]}
+		if n[lvl] > 0 {
+			row.MeanSNR = snr[lvl] / float64(n[lvl])
+			row.MeanBW = bw[lvl] / float64(n[lvl])
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// WiFiBreakdown holds per-standard distributions, optionally filtered by
+// radio band (Figures 13, 14, 15).
+type WiFiBreakdown struct {
+	ByStandard map[int]Distribution // keyed by 4, 5, 6
+}
+
+// WiFiDistributions computes per-standard WiFi bandwidth distributions.
+// radio filters to one radio band; pass nil for all (Figure 13).
+func WiFiDistributions(records []dataset.Record, radio *dataset.RadioBand) WiFiBreakdown {
+	values := map[int][]float64{}
+	for _, r := range records {
+		if r.Tech != dataset.TechWiFi {
+			continue
+		}
+		if radio != nil && r.WiFiRadio != *radio {
+			continue
+		}
+		values[r.WiFiStandard] = append(values[r.WiFiStandard], r.BandwidthMbps)
+	}
+	out := WiFiBreakdown{ByStandard: map[int]Distribution{}}
+	for std, xs := range values {
+		out.ByStandard[std] = distribute(xs)
+	}
+	return out
+}
+
+// PlanShareAtOrBelow reports the fraction of WiFi tests whose broadband plan
+// is ≤ mbps (§3.4: ~64 % of WiFi customers on ≤200 Mbps plans). filter
+// restricts by standard (0 = all).
+func PlanShareAtOrBelow(records []dataset.Record, mbps float64, standard int) float64 {
+	var n, below int
+	for _, r := range records {
+		if r.Tech != dataset.TechWiFi {
+			continue
+		}
+		if standard != 0 && r.WiFiStandard != standard {
+			continue
+		}
+		n++
+		if r.PlanMbps <= mbps {
+			below++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(below) / float64(n)
+}
+
+// PDFResult is an estimated bandwidth probability density with a fitted
+// multi-modal Gaussian model (Figures 16, 18, 19 and Equation 1).
+type PDFResult struct {
+	Points []stats.PDFPoint
+	Model  *gmm.Model
+	Modes  int
+}
+
+// Filter selects records for BandwidthPDF.
+type Filter func(dataset.Record) bool
+
+// TechFilter selects one technology.
+func TechFilter(tech dataset.Tech) Filter {
+	return func(r dataset.Record) bool { return r.Tech == tech }
+}
+
+// WiFiStandardFilter selects one WiFi standard.
+func WiFiStandardFilter(std int) Filter {
+	return func(r dataset.Record) bool {
+		return r.Tech == dataset.TechWiFi && r.WiFiStandard == std
+	}
+}
+
+// BandwidthPDF estimates the bandwidth density over [0, hi] and fits a
+// multi-modal Gaussian mixture with up to kmax components by BIC — the §5.1
+// model-refresh path. fitSample bounds the EM input size (0 selects 4000).
+func BandwidthPDF(records []dataset.Record, filter Filter, hi float64, kmax, fitSample int, seed int64) (PDFResult, error) {
+	if fitSample <= 0 {
+		fitSample = 4000
+	}
+	var xs []float64
+	for _, r := range records {
+		if filter(r) {
+			xs = append(xs, r.BandwidthMbps)
+		}
+	}
+	if len(xs) < 100 {
+		return PDFResult{}, fmt.Errorf("analysis: only %d matching records, need ≥100", len(xs))
+	}
+	s := stats.NewSample(xs)
+	points := s.KDE(0, hi, 200, 0)
+
+	fitXs := xs
+	rng := rand.New(rand.NewSource(seed))
+	if len(fitXs) > fitSample {
+		idx := rng.Perm(len(fitXs))[:fitSample]
+		sub := make([]float64, fitSample)
+		for i, j := range idx {
+			sub[i] = fitXs[j]
+		}
+		fitXs = sub
+	}
+	model, k, err := gmm.FitBIC(fitXs, kmax, rng, gmm.FitOptions{})
+	if err != nil {
+		return PDFResult{}, fmt.Errorf("analysis: fitting mixture: %w", err)
+	}
+	return PDFResult{Points: points, Model: model, Modes: k}, nil
+}

@@ -1,0 +1,269 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/mobilebandwidth/swiftest/internal/linksim"
+)
+
+func TestBTSAppEstimateTrimsNoise(t *testing.T) {
+	// 200 samples: 50 ramp-up noise samples then 150 at the true rate.
+	samples := make([]float64, 0, 200)
+	for i := 0; i < 50; i++ {
+		samples = append(samples, float64(i)) // slow start noise 0..49
+	}
+	for i := 0; i < 150; i++ {
+		samples = append(samples, 100)
+	}
+	got := BTSAppEstimate(samples)
+	// The 5 lowest groups (the ramp) are discarded, so the estimate should
+	// land on the true rate.
+	if math.Abs(got-100) > 1 {
+		t.Errorf("estimate = %g, want ≈100 after trimming ramp noise", got)
+	}
+}
+
+func TestBTSAppEstimateEdgeCases(t *testing.T) {
+	if BTSAppEstimate(nil) != 0 {
+		t.Error("empty input should estimate 0")
+	}
+	if got := BTSAppEstimate([]float64{50, 60}); math.Abs(got-55) > 1e-9 {
+		t.Errorf("short input = %g, want plain mean 55", got)
+	}
+}
+
+func TestSpeedtestEstimate(t *testing.T) {
+	// 100 samples: 25 low outliers, 10 high outliers, 65 at 200.
+	var samples []float64
+	for i := 0; i < 25; i++ {
+		samples = append(samples, 1)
+	}
+	for i := 0; i < 65; i++ {
+		samples = append(samples, 200)
+	}
+	for i := 0; i < 10; i++ {
+		samples = append(samples, 10000)
+	}
+	if got := SpeedtestEstimate(samples); math.Abs(got-200) > 1e-9 {
+		t.Errorf("estimate = %g, want 200", got)
+	}
+	if SpeedtestEstimate(nil) != 0 {
+		t.Error("empty input should estimate 0")
+	}
+}
+
+func TestCrucialIntervalFindsDensestCluster(t *testing.T) {
+	var samples []float64
+	// Sparse ramp plus a dense plateau at ≈300.
+	for i := 0; i < 10; i++ {
+		samples = append(samples, float64(i*25)) // 0..225 spread out
+	}
+	for i := 0; i < 50; i++ {
+		samples = append(samples, 300+float64(i%3)) // dense at 300–302
+	}
+	got := CrucialInterval(samples)
+	if math.Abs(got-301) > 5 {
+		t.Errorf("crucial interval = %g, want ≈301", got)
+	}
+}
+
+func TestCrucialIntervalDegenerate(t *testing.T) {
+	if CrucialInterval(nil) != 0 {
+		t.Error("empty input should estimate 0")
+	}
+	if CrucialInterval([]float64{42}) != 42 {
+		t.Error("single sample should be returned")
+	}
+	if got := CrucialInterval([]float64{7, 7, 7}); got != 7 {
+		t.Errorf("identical samples = %g, want 7", got)
+	}
+}
+
+// TestEstimatorsWithinRange property-checks that every estimator returns a
+// value within the sample range.
+func TestEstimatorsWithinRange(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, x := range raw {
+			x = math.Abs(math.Mod(x, 1000))
+			xs[i] = x
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+		for _, est := range []func([]float64) float64{BTSAppEstimate, SpeedtestEstimate, CrucialInterval} {
+			v := est(xs)
+			if v < lo-1e-9 || v > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStable(t *testing.T) {
+	if !Stable([]float64{100, 101, 102}, 0.03) {
+		t.Error("2% spread should be stable at 3%")
+	}
+	if Stable([]float64{100, 110}, 0.03) {
+		t.Error("10% spread should not be stable at 3%")
+	}
+	if Stable(nil, 0.03) {
+		t.Error("empty window should not be stable")
+	}
+	if Stable([]float64{0, 0}, 0.03) {
+		t.Error("all-zero window should not be stable")
+	}
+}
+
+func quietLink(t *testing.T, capMbps float64, seed int64) *linksim.Link {
+	t.Helper()
+	return linksim.MustNew(linksim.Config{
+		CapacityMbps: capMbps,
+		RTT:          40 * time.Millisecond,
+		Fluctuation:  0.01,
+	}, seed)
+}
+
+func TestBTSAppRun(t *testing.T) {
+	l := quietLink(t, 200, 1)
+	rep := (&BTSApp{}).Run(l)
+	if rep.Duration != 10*time.Second {
+		t.Errorf("duration = %v, want exactly 10 s", rep.Duration)
+	}
+	if len(rep.Samples) != 200 {
+		t.Errorf("samples = %d, want 200", len(rep.Samples))
+	}
+	if math.Abs(rep.Result-200) > 20 {
+		t.Errorf("result = %g, want ≈200", rep.Result)
+	}
+	// 10 s at ≈200 Mbps ≈ 250 MB ceiling; must be substantial but bounded.
+	if rep.DataMB < 100 || rep.DataMB > 260 {
+		t.Errorf("data usage = %g MB, implausible", rep.DataMB)
+	}
+	if rep.Flows < 2 {
+		t.Errorf("flows = %d, expected scale-up above 25 Mbps ladder", rep.Flows)
+	}
+}
+
+func TestBTSAppAccuracyAcrossCapacities(t *testing.T) {
+	for _, capMbps := range []float64{30, 100, 500, 900} {
+		l := quietLink(t, capMbps, 3)
+		rep := (&BTSApp{}).Run(l)
+		if math.Abs(rep.Result-capMbps)/capMbps > 0.15 {
+			t.Errorf("cap=%g: result %g off by >15%%", capMbps, rep.Result)
+		}
+	}
+}
+
+func TestFASTRun(t *testing.T) {
+	l := quietLink(t, 300, 5)
+	rep := (&FAST{}).Run(l)
+	if rep.Duration < 5*time.Second || rep.Duration > 30*time.Second {
+		t.Errorf("duration = %v outside [5s,30s]", rep.Duration)
+	}
+	if math.Abs(rep.Result-300) > 45 {
+		t.Errorf("result = %g, want ≈300", rep.Result)
+	}
+}
+
+func TestFASTStopsEarlyOnQuietLink(t *testing.T) {
+	// Zero fluctuation: stability is reached at the minimum duration.
+	l := linksim.MustNew(linksim.Config{CapacityMbps: 100, RTT: 40 * time.Millisecond}, 1)
+	rep := (&FAST{}).Run(l)
+	if rep.Duration > 8*time.Second {
+		t.Errorf("duration = %v on a perfectly quiet link, want ≈5 s", rep.Duration)
+	}
+}
+
+func TestFASTTimesOutOnNoisyLink(t *testing.T) {
+	l := linksim.MustNew(linksim.Config{
+		CapacityMbps: 100, RTT: 40 * time.Millisecond, Fluctuation: 0.3,
+	}, 9)
+	rep := (&FAST{MaxDuration: 8 * time.Second}).Run(l)
+	if rep.Duration < 8*time.Second {
+		t.Errorf("duration = %v, expected timeout at 8 s under 30%% noise", rep.Duration)
+	}
+	if rep.Result <= 0 {
+		t.Error("timed-out test must still report a result")
+	}
+}
+
+func TestFastBTSRun(t *testing.T) {
+	l := quietLink(t, 300, 7)
+	rep := (&FastBTS{}).Run(l)
+	if rep.Duration <= 0 || rep.Duration > 10*time.Second {
+		t.Errorf("duration = %v", rep.Duration)
+	}
+	if rep.Result <= 0 {
+		t.Error("no result")
+	}
+}
+
+// TestFastBTSFasterButLessAccurate verifies the §5.3 finding: FastBTS
+// converges faster than FAST but underestimates, because its crucial
+// interval stabilises before the TCP ramp saturates the link.
+func TestFastBTSFasterButLessAccurate(t *testing.T) {
+	const capMbps = 600.0
+	lf := quietLink(t, capMbps, 11)
+	fastRep := (&FAST{}).Run(lf)
+	lb := quietLink(t, capMbps, 11)
+	btsRep := (&FastBTS{}).Run(lb)
+	if btsRep.Duration >= fastRep.Duration {
+		t.Errorf("FastBTS (%v) not faster than FAST (%v)", btsRep.Duration, fastRep.Duration)
+	}
+	fastErr := math.Abs(fastRep.Result-capMbps) / capMbps
+	btsErr := math.Abs(btsRep.Result-capMbps) / capMbps
+	if btsErr <= fastErr {
+		t.Errorf("FastBTS err %.3f not worse than FAST err %.3f on a high-BDP link", btsErr, fastErr)
+	}
+	if btsRep.Result >= capMbps {
+		t.Errorf("FastBTS result %g should underestimate %g", btsRep.Result, capMbps)
+	}
+}
+
+func TestProberNames(t *testing.T) {
+	if (&BTSApp{}).Name() != "bts-app" || (&FAST{}).Name() != "fast" || (&FastBTS{}).Name() != "fastbts" {
+		t.Error("prober names wrong")
+	}
+}
+
+func TestBTSAppShapedLinkLowerResult(t *testing.T) {
+	// Traffic shaping (burst then clamp) must pull the estimate down toward
+	// the sustained rate — the >30% deviation tail of Figure 22.
+	shaped := linksim.MustNew(linksim.Config{
+		CapacityMbps: 400, RTT: 40 * time.Millisecond,
+		Shaping: &linksim.Shaper{BurstMB: 20, SustainedMbps: 100},
+	}, 13)
+	rep := (&BTSApp{}).Run(shaped)
+	if rep.Result > 200 {
+		t.Errorf("result = %g on a link shaped to 100 Mbps sustained", rep.Result)
+	}
+}
+
+func TestSpeedtestRun(t *testing.T) {
+	l := quietLink(t, 200, 41)
+	rep := (&Speedtest{}).Run(l)
+	if rep.Duration != 15*time.Second {
+		t.Errorf("duration = %v, want Speedtest's fixed 15 s", rep.Duration)
+	}
+	if len(rep.Samples) != 300 {
+		t.Errorf("samples = %d, want 300 over 15 s", len(rep.Samples))
+	}
+	if math.Abs(rep.Result-200) > 25 {
+		t.Errorf("result = %g, want ≈200", rep.Result)
+	}
+	if (&Speedtest{}).Name() != "speedtest" {
+		t.Error("name wrong")
+	}
+}

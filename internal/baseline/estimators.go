@@ -1,0 +1,128 @@
+// Package baseline implements the bandwidth-testing systems the paper
+// compares Swiftest against: BTS-APP's probing-by-flooding (§2), Speedtest's
+// static sample filter, FAST's stability-stop logic, and FastBTS's
+// crucial-interval estimation (§5.1, §5.3). The probers run on the
+// linksim virtual-time emulator with the cc TCP models, so a full 10-second
+// flooding test simulates in microseconds.
+package baseline
+
+import (
+	"math"
+	"sort"
+)
+
+// BTSAppEstimate reproduces BTS-APP's result computation (§2): partition the
+// collected samples into 20 groups, discard the 5 groups with the lowest
+// average bandwidth and the 2 with the highest, and average the remainder.
+// These empirical parameters conform to Speedtest's. With fewer than 20
+// samples it falls back to a plain mean.
+func BTSAppEstimate(samples []float64) float64 {
+	const groups, dropLow, dropHigh = 20, 5, 2
+	n := len(samples)
+	if n == 0 {
+		return 0
+	}
+	if n < groups {
+		return mean(samples)
+	}
+	per := n / groups
+	avgs := make([]float64, 0, groups)
+	for g := 0; g < groups; g++ {
+		lo := g * per
+		hi := lo + per
+		if g == groups-1 {
+			hi = n // last group absorbs the remainder
+		}
+		avgs = append(avgs, mean(samples[lo:hi]))
+	}
+	sort.Float64s(avgs)
+	kept := avgs[dropLow : len(avgs)-dropHigh]
+	return mean(kept)
+}
+
+// SpeedtestEstimate reproduces Speedtest's static filter (§5.1): discard the
+// top 10 % and bottom 25 % of bandwidth samples and average the rest.
+func SpeedtestEstimate(samples []float64) float64 {
+	n := len(samples)
+	if n == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	lo := int(float64(n) * 0.25)
+	hi := n - int(float64(n)*0.10)
+	if lo >= hi {
+		return mean(sorted)
+	}
+	return mean(sorted[lo:hi])
+}
+
+// CrucialInterval reproduces FastBTS's crucial-interval sampling (§5.1):
+// among all intervals bounded by sample values, choose the one maximising
+// the product of sample density and quantity, and estimate the bandwidth as
+// the mean of the samples inside it. The search is O(n²) over the sorted
+// samples, which is cheap at BTS sample counts (≤ a few hundred).
+func CrucialInterval(samples []float64) float64 {
+	n := len(samples)
+	if n == 0 {
+		return 0
+	}
+	if n == 1 {
+		return samples[0]
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	// Guard width so identical samples don't divide by zero; scale-relative.
+	eps := (sorted[n-1] - sorted[0]) / float64(n*10)
+	if eps <= 0 {
+		return sorted[0]
+	}
+	bestScore := math.Inf(-1)
+	bestLo, bestHi := 0, n-1
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			k := float64(j - i + 1)
+			width := sorted[j] - sorted[i] + eps
+			density := k / width
+			quantity := k / float64(n)
+			score := density * quantity
+			if score > bestScore {
+				bestScore, bestLo, bestHi = score, i, j
+			}
+		}
+	}
+	return mean(sorted[bestLo : bestHi+1])
+}
+
+// Stable reports whether the window of samples has converged per the FAST /
+// Swiftest criterion (§5.1): the difference ratio between the maximum and
+// minimum values is at most threshold (e.g. 0.03 for 3 %).
+func Stable(window []float64, threshold float64) bool {
+	if len(window) == 0 {
+		return false
+	}
+	lo, hi := window[0], window[0]
+	for _, x := range window[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	if hi <= 0 {
+		return false
+	}
+	return (hi-lo)/hi <= threshold
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,351 @@
+// Package cc implements the TCP congestion-control ramp models used by the
+// paper's slow-start study (§5.1, Figure 17) and by the TCP-based baseline
+// BTSes (BTS-APP, FAST, FastBTS).
+//
+// Three algorithms are modelled — Reno, CUBIC, and BBR — at the granularity
+// that matters for bandwidth testing: how the sending rate evolves from a
+// small initial window to the bottleneck capacity, how long that ramp takes
+// as a function of the access bandwidth, and which "noise" samples the ramp
+// injects into a bandwidth test.
+//
+// Window growth is driven by delivery feedback from a linksim.Flow. Two
+// calibration knobs map the textbook dynamics onto the field behaviour the
+// paper measured with tcp_probe on production servers:
+//
+//   - AckDelayFactor models the delayed ACKs, ACK compression and radio
+//     scheduling latency of commercial cellular/WiFi paths, which stretch a
+//     "round" of window growth well beyond one propagation RTT. This is why
+//     slow start takes seconds in the field rather than the textbook handful
+//     of RTTs.
+//   - Each algorithm has a slow-start growth exponent reflecting its ramp
+//     aggressiveness: BBR's Startup pacing gain (2/ln2) grows fastest, Reno's
+//     classic per-ACK doubling is the middle, and CUBIC with conservative
+//     HyStart(++) growth is the slowest — reproducing Figure 17's ordering
+//     (CUBIC > Reno > BBR slow-start time) and its growth with bandwidth.
+//
+// After the ramp, the models keep their distinctive steady-state behaviour:
+// Reno AIMD, the CUBIC window function with β = 0.7, and BBR's ProbeBW gain
+// cycling, so a 10-second flooding test sees realistic post-ramp dynamics.
+package cc
+
+import (
+	"math"
+	"time"
+
+	"github.com/mobilebandwidth/swiftest/internal/linksim"
+)
+
+// PacketBytes is the segment size assumed by the window models.
+const PacketBytes = 1500
+
+// DefaultAckDelayFactor is the calibrated ACK-thinning factor (see package
+// comment): one effective window-growth round spans roughly this many
+// propagation RTTs on a commercial mobile path.
+const DefaultAckDelayFactor = 14
+
+// InitialWindow is the initial congestion window in packets (RFC 6928).
+const InitialWindow = 10
+
+// Per-algorithm slow-start growth exponents: the congestion window grows by
+// a factor of e^gain per effective round (see package comment).
+const (
+	gainCubic = 0.53 // ≈1.7× per round: HyStart(++)-limited growth
+	gainReno  = math.Ln2
+	gainBBR   = 0.95 // ≈2.59× per round: Startup pacing gain 2/ln2
+)
+
+// Feedback carries one tick of delivery feedback from the link to an
+// Algorithm.
+type Feedback struct {
+	Achieved float64       // Mbps delivered during the tick
+	Loss     bool          // loss signal observed during the tick
+	RTT      time.Duration // current RTT including queueing delay
+	Tick     time.Duration // tick length
+}
+
+// Algorithm is a congestion-control model. Tick consumes one tick of
+// feedback and returns the rate (Mbps) the sender should offer next tick.
+type Algorithm interface {
+	Name() string
+	Tick(fb Feedback) float64
+	// InSlowStart reports whether the algorithm is still in its initial
+	// ramp phase (slow start for Reno/CUBIC, Startup for BBR).
+	InSlowStart() bool
+}
+
+// windowRate converts a congestion window (packets) and RTT into Mbps.
+func windowRate(cwnd float64, rtt time.Duration) float64 {
+	if rtt <= 0 {
+		return 0
+	}
+	return cwnd * PacketBytes * 8 / rtt.Seconds() / 1e6
+}
+
+// ackedPackets converts delivered Mbps during a tick into effective
+// window-growth events after ACK thinning.
+func ackedPackets(fb Feedback, ackDelay float64) float64 {
+	bytes := fb.Achieved * 1e6 * fb.Tick.Seconds() / 8
+	return bytes / PacketBytes / ackDelay
+}
+
+// Reno implements NewReno-style slow start and AIMD congestion avoidance.
+type Reno struct {
+	cwnd     float64
+	ssthresh float64
+	slow     bool
+	ackDelay float64
+}
+
+// NewReno returns a Reno model. ackDelayFactor ≤ 0 selects the default.
+func NewReno(ackDelayFactor float64) *Reno {
+	if ackDelayFactor <= 0 {
+		ackDelayFactor = DefaultAckDelayFactor
+	}
+	return &Reno{cwnd: InitialWindow, ssthresh: math.Inf(1), slow: true, ackDelay: ackDelayFactor}
+}
+
+// Name implements Algorithm.
+func (r *Reno) Name() string { return "reno" }
+
+// InSlowStart implements Algorithm.
+func (r *Reno) InSlowStart() bool { return r.slow }
+
+// Tick implements Algorithm.
+func (r *Reno) Tick(fb Feedback) float64 {
+	if fb.Loss {
+		r.ssthresh = math.Max(r.cwnd/2, 2)
+		r.cwnd = r.ssthresh
+		r.slow = false
+	} else {
+		acked := ackedPackets(fb, r.ackDelay)
+		if r.slow && r.cwnd < r.ssthresh {
+			r.cwnd += gainReno * acked
+		} else {
+			r.slow = false
+			r.cwnd += acked / r.cwnd // AIMD: +1 per round
+		}
+	}
+	return windowRate(r.cwnd, fb.RTT)
+}
+
+// Cubic implements CUBIC with a HyStart-style delay-based slow-start exit.
+type Cubic struct {
+	cwnd       float64
+	wmax       float64
+	slow       bool
+	epochStart time.Duration
+	elapsed    time.Duration
+	minRTT     time.Duration
+	ackDelay   float64
+}
+
+// CUBIC constants (RFC 8312): scaling constant C and multiplicative
+// decrease factor β.
+const (
+	cubicC    = 0.4
+	cubicBeta = 0.7
+)
+
+// NewCubic returns a CUBIC model. ackDelayFactor ≤ 0 selects the default.
+func NewCubic(ackDelayFactor float64) *Cubic {
+	if ackDelayFactor <= 0 {
+		ackDelayFactor = DefaultAckDelayFactor
+	}
+	return &Cubic{cwnd: InitialWindow, slow: true, ackDelay: ackDelayFactor}
+}
+
+// Name implements Algorithm.
+func (c *Cubic) Name() string { return "cubic" }
+
+// InSlowStart implements Algorithm.
+func (c *Cubic) InSlowStart() bool { return c.slow }
+
+// Tick implements Algorithm.
+func (c *Cubic) Tick(fb Feedback) float64 {
+	c.elapsed += fb.Tick
+	if c.minRTT == 0 || fb.RTT < c.minRTT {
+		c.minRTT = fb.RTT
+	}
+
+	switch {
+	case fb.Loss:
+		c.wmax = c.cwnd
+		c.cwnd = math.Max(c.cwnd*cubicBeta, 2)
+		c.slow = false
+		c.epochStart = c.elapsed
+	case c.slow:
+		c.cwnd += gainCubic * ackedPackets(fb, c.ackDelay)
+		// HyStart delay-based exit: queueing delay indicates the pipe is
+		// filling; leave slow start before overshooting badly.
+		thresh := c.minRTT + maxDuration(4*time.Millisecond, c.minRTT/8)
+		if fb.RTT > thresh {
+			c.slow = false
+			c.wmax = c.cwnd
+			c.epochStart = c.elapsed
+		}
+	default:
+		// Cubic window: W(t) = C·(t−K)³ + Wmax, K = ∛(Wmax·(1−β)/C).
+		t := (c.elapsed - c.epochStart).Seconds()
+		k := math.Cbrt(c.wmax * (1 - cubicBeta) / cubicC)
+		target := cubicC*math.Pow(t-k, 3) + c.wmax
+		acked := ackedPackets(fb, c.ackDelay)
+		if target > c.cwnd {
+			// Approach the cubic target at most one packet per ACK event.
+			c.cwnd = math.Min(target, c.cwnd+acked)
+		} else {
+			// TCP-friendly floor: grow at least like Reno.
+			c.cwnd += acked / c.cwnd
+		}
+	}
+	if c.cwnd < 2 {
+		c.cwnd = 2
+	}
+	return windowRate(c.cwnd, fb.RTT)
+}
+
+// BBR implements the Startup/Drain/ProbeBW phases of BBRv1 at the level of
+// rate evolution: an exponential Startup at pacing gain 2/ln2, plateau
+// detection on the bottleneck-bandwidth estimate, a Drain phase, and the
+// 8-phase ProbeBW gain cycle.
+type BBR struct {
+	phase      bbrPhase
+	cwnd       float64 // Startup ramp state, ACK-clocked like slow start
+	btlBw      float64 // bottleneck bandwidth estimate (Mbps)
+	fullBwRef  float64 // btlBw at the last growth check
+	stallCount int     // rounds without ≥25 % btlBw growth
+	cycleIdx   int
+	cycleTime  time.Duration
+	minRTT     time.Duration
+	ackDelay   float64
+	roundTime  time.Duration
+}
+
+type bbrPhase int
+
+const (
+	bbrStartup bbrPhase = iota
+	bbrDrain
+	bbrProbeBW
+)
+
+// bbrProbeGains is BBRv1's 8-phase ProbeBW pacing-gain cycle.
+var bbrProbeGains = [8]float64{1.25, 0.75, 1, 1, 1, 1, 1, 1}
+
+// NewBBR returns a BBR model. ackDelayFactor ≤ 0 selects the default.
+func NewBBR(ackDelayFactor float64) *BBR {
+	if ackDelayFactor <= 0 {
+		ackDelayFactor = DefaultAckDelayFactor
+	}
+	return &BBR{phase: bbrStartup, cwnd: InitialWindow, ackDelay: ackDelayFactor}
+}
+
+// Name implements Algorithm.
+func (b *BBR) Name() string { return "bbr" }
+
+// InSlowStart implements Algorithm; BBR's Startup is its slow-start analog.
+func (b *BBR) InSlowStart() bool { return b.phase == bbrStartup }
+
+// Tick implements Algorithm.
+func (b *BBR) Tick(fb Feedback) float64 {
+	if b.minRTT == 0 || fb.RTT < b.minRTT {
+		b.minRTT = fb.RTT
+	}
+	if fb.Achieved > b.btlBw {
+		b.btlBw = fb.Achieved
+	}
+	b.roundTime += fb.Tick
+	roundLen := time.Duration(float64(maxDuration(b.minRTT, fb.Tick)) * b.ackDelay)
+
+	switch b.phase {
+	case bbrStartup:
+		if b.roundTime >= roundLen {
+			b.roundTime = 0
+			if b.btlBw < b.fullBwRef*1.25 {
+				b.stallCount++
+			} else {
+				b.stallCount = 0
+				b.fullBwRef = b.btlBw
+			}
+			if b.stallCount >= 3 && b.btlBw > 0 {
+				b.phase = bbrDrain
+				b.roundTime = 0
+			}
+		}
+		b.cwnd += gainBBR * ackedPackets(fb, b.ackDelay)
+		return windowRate(b.cwnd, fb.RTT)
+	case bbrDrain:
+		// Pace below the estimate to drain the Startup queue.
+		if fb.RTT <= b.minRTT+b.minRTT/8 || b.roundTime >= roundLen {
+			b.phase = bbrProbeBW
+			b.roundTime = 0
+		}
+		return math.Max(b.btlBw*0.75, 0.1)
+	default: // bbrProbeBW
+		b.cycleTime += fb.Tick
+		if b.cycleTime >= maxDuration(b.minRTT, 10*time.Millisecond) {
+			b.cycleTime = 0
+			b.cycleIdx = (b.cycleIdx + 1) % len(bbrProbeGains)
+		}
+		return math.Max(bbrProbeGains[b.cycleIdx]*b.btlBw, 0.1)
+	}
+}
+
+func maxDuration(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Sender drives a linksim.Flow with an Algorithm. Call Step after each
+// link.Advance.
+type Sender struct {
+	Flow *linksim.Flow
+	Alg  Algorithm
+}
+
+// NewSender attaches alg to flow and offers the initial-window rate.
+func NewSender(flow *linksim.Flow, alg Algorithm) *Sender {
+	flow.SetOffered(windowRate(InitialWindow, flow.RTT()))
+	return &Sender{Flow: flow, Alg: alg}
+}
+
+// Step feeds the last tick's delivery feedback to the algorithm and installs
+// the new offered rate.
+func (s *Sender) Step(tick time.Duration) {
+	fb := Feedback{
+		Achieved: s.Flow.Achieved(),
+		Loss:     s.Flow.LossSignal(),
+		RTT:      s.Flow.RTT(),
+		Tick:     tick,
+	}
+	s.Flow.SetOffered(s.Alg.Tick(fb))
+}
+
+// RampResult reports how a congestion-control algorithm ramped on a link.
+type RampResult struct {
+	// RampTime is the virtual time until the flow's achieved rate first
+	// reached the target fraction of link capacity — the duration during
+	// which a bandwidth test collects only slow-start "noise" samples.
+	RampTime time.Duration
+	// Reached reports whether the target was reached within the deadline.
+	Reached bool
+}
+
+// MeasureRamp runs alg over a fresh flow on link and measures the time until
+// the achieved rate first reaches frac × capacity, up to deadline.
+func MeasureRamp(link *linksim.Link, alg Algorithm, frac float64, deadline time.Duration) RampResult {
+	flow := link.NewFlow()
+	defer flow.Close()
+	s := NewSender(flow, alg)
+	target := frac * link.Config().CapacityMbps
+	start := link.Now()
+	for link.Now()-start < deadline {
+		link.Advance()
+		s.Step(linksim.Tick)
+		if flow.Achieved() >= target {
+			return RampResult{RampTime: link.Now() - start, Reached: true}
+		}
+	}
+	return RampResult{RampTime: deadline, Reached: false}
+}

@@ -1,0 +1,248 @@
+// Package core implements Swiftest's data-driven bandwidth probing — the
+// primary contribution of the paper (§5.1).
+//
+// Instead of flooding the network for a fixed 10–15 seconds like commercial
+// BTSes, Swiftest starts from a statistical model of the client's access
+// technology: the multi-modal Gaussian distribution of Equation (1). The
+// initial probing data rate is the most probable mode of that distribution,
+// which skips TCP slow start's lengthy ramp entirely (the transport is
+// UDP-paced, §5.1/§7). During the test the engine watches 50 ms bandwidth
+// samples: if the latest sample does not fall below the probing rate the
+// client's access link is not yet saturated, so the rate escalates to the
+// most probable larger mode (adding servers as needed); otherwise the rate
+// holds. The test stops as soon as the last ten samples converge — their
+// max/min difference ratio is within 3 % — and reports their mean.
+//
+// The engine is transport-agnostic: it speaks to the network through the
+// Probe interface, which is implemented both by the virtual-time emulator
+// (SimProbe, used by every experiment) and by the real UDP transport in
+// package transport.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/mobilebandwidth/swiftest/internal/baseline"
+	"github.com/mobilebandwidth/swiftest/internal/gmm"
+	"github.com/mobilebandwidth/swiftest/internal/linksim"
+)
+
+// Probe is the transport seam: the engine requests a probing data rate and
+// consumes periodic bandwidth samples.
+type Probe interface {
+	// SetRate asks the sending side to pace traffic at mbps. Implementations
+	// add test servers as needed to cover the requested rate (§5.1).
+	SetRate(mbps float64) error
+	// NextSample blocks (or advances virtual time) until the next sampling
+	// interval elapses and returns the observed throughput in Mbps. ok is
+	// false when the probe can no longer produce samples.
+	NextSample() (mbps float64, ok bool)
+	// Elapsed reports time spent probing so far.
+	Elapsed() time.Duration
+	// DataMB reports the data volume consumed by the test so far, in MB.
+	DataMB() float64
+}
+
+// Config parameterises the probing engine. The zero value selects the
+// paper's published parameters.
+type Config struct {
+	// Model is the bandwidth distribution for the client's access
+	// technology. Required.
+	Model *gmm.Model
+	// ConvergeWindow is the number of trailing samples that must agree;
+	// §5.1 uses 10. Zero selects 10.
+	ConvergeWindow int
+	// ConvergeThreshold is the max/min difference ratio regarded as
+	// convergent; §5.1 uses 3 % following FAST. Zero selects 0.03.
+	ConvergeThreshold float64
+	// SaturationMargin is the relative gap below the probing rate at which
+	// a sample indicates the access link (not the probing rate) is the
+	// bottleneck. Zero selects 0.05.
+	SaturationMargin float64
+	// SettleSamples is the number of samples to wait after a rate change
+	// before judging saturation again. Zero selects 2.
+	SettleSamples int
+	// MaxDuration bounds the test; Swiftest's field deployment saw a worst
+	// case of 4.49 s (§5.3). Zero selects 5 s.
+	MaxDuration time.Duration
+	// Headroom multiplies the probing rate when escalating beyond the
+	// largest mode of the model, covering clients faster than any mode.
+	// Zero selects 1.25.
+	Headroom float64
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Model == nil {
+		return c, errors.New("core: Config.Model is required")
+	}
+	if c.ConvergeWindow <= 0 {
+		c.ConvergeWindow = 10
+	}
+	if c.ConvergeThreshold <= 0 {
+		c.ConvergeThreshold = 0.03
+	}
+	if c.SaturationMargin <= 0 {
+		c.SaturationMargin = 0.05
+	}
+	if c.SettleSamples <= 0 {
+		c.SettleSamples = 2
+	}
+	if c.MaxDuration <= 0 {
+		c.MaxDuration = 5 * time.Second
+	}
+	if c.Headroom <= 0 {
+		c.Headroom = 1.25
+	}
+	return c, nil
+}
+
+// Result is the outcome of one Swiftest bandwidth test.
+type Result struct {
+	Bandwidth   float64       // estimated access bandwidth (Mbps)
+	Duration    time.Duration // probing time (excludes server selection PING)
+	DataMB      float64       // data consumed by the test
+	Samples     []float64     // all 50 ms samples collected
+	Converged   bool          // true if the 3 % criterion stopped the test
+	RateChanges int           // number of probing-rate escalations
+	InitialRate float64       // the model-selected initial probing rate
+	FinalRate   float64       // the probing rate when the test ended
+}
+
+// Run executes one bandwidth test over p using cfg.
+func Run(p Probe, cfg Config) (Result, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return Result{}, err
+	}
+
+	initial := cfg.Model.MostProbableMode().Rate
+	if initial <= 0 {
+		return Result{}, fmt.Errorf("core: model's most probable mode %g is not a usable rate", initial)
+	}
+	rate := initial
+	if err := p.SetRate(rate); err != nil {
+		return Result{}, fmt.Errorf("core: setting initial rate: %w", err)
+	}
+
+	res := Result{InitialRate: initial}
+	settle := cfg.SettleSamples
+	for p.Elapsed() < cfg.MaxDuration {
+		s, ok := p.NextSample()
+		if !ok {
+			break
+		}
+		res.Samples = append(res.Samples, s)
+		if settle > 0 {
+			settle--
+		}
+
+		// Convergence: the last ConvergeWindow samples agree within the
+		// threshold → stop and report their mean (§5.1).
+		if len(res.Samples) >= cfg.ConvergeWindow {
+			tail := res.Samples[len(res.Samples)-cfg.ConvergeWindow:]
+			if baseline.Stable(tail, cfg.ConvergeThreshold) {
+				res.Bandwidth = meanOf(tail)
+				res.Converged = true
+				break
+			}
+		}
+
+		// Saturation judgement: a sample at (or above) the probing rate
+		// means the probing rate, not the access link, is the bottleneck —
+		// escalate to the most probable larger mode.
+		if settle == 0 && s >= rate*(1-cfg.SaturationMargin) {
+			next, ok := cfg.Model.NextLargerMode(rate)
+			var newRate float64
+			if ok {
+				newRate = next.Rate
+			} else {
+				newRate = rate * cfg.Headroom
+			}
+			if newRate > rate {
+				rate = newRate
+				if err := p.SetRate(rate); err != nil {
+					return res, fmt.Errorf("core: escalating rate: %w", err)
+				}
+				res.RateChanges++
+				settle = cfg.SettleSamples
+			}
+		}
+	}
+
+	if !res.Converged {
+		// Deadline or probe exhaustion: report the trailing-window mean.
+		tail := res.Samples
+		if len(tail) > cfg.ConvergeWindow {
+			tail = tail[len(tail)-cfg.ConvergeWindow:]
+		}
+		res.Bandwidth = meanOf(tail)
+	}
+	res.Duration = p.Elapsed()
+	res.DataMB = p.DataMB()
+	res.FinalRate = rate
+	return res, nil
+}
+
+func meanOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// SimProbe implements Probe over the virtual-time link emulator. Setting a
+// rate paces a UDP-style flow (no congestion control — the pacing is the
+// application-layer mechanism of §5.1); each NextSample advances virtual
+// time by one sampling interval.
+type SimProbe struct {
+	link    *linksim.Link
+	flow    *linksim.Flow
+	sampler *linksim.Sampler
+	start   time.Duration
+}
+
+// NewSimProbe attaches a probe to an emulated access link.
+func NewSimProbe(link *linksim.Link) *SimProbe {
+	flow := link.NewFlow()
+	return &SimProbe{
+		link:    link,
+		flow:    flow,
+		sampler: linksim.NewSampler(flow),
+		start:   link.Now(),
+	}
+}
+
+// SetRate implements Probe.
+func (sp *SimProbe) SetRate(mbps float64) error {
+	if mbps < 0 {
+		return fmt.Errorf("core: negative probing rate %g", mbps)
+	}
+	sp.flow.SetOffered(mbps)
+	return nil
+}
+
+// NextSample implements Probe.
+func (sp *SimProbe) NextSample() (float64, bool) {
+	ticks := int(sp.sampler.Interval() / linksim.Tick)
+	for i := 0; i < ticks; i++ {
+		sp.link.Advance()
+	}
+	return sp.sampler.Take(), true
+}
+
+// Elapsed implements Probe.
+func (sp *SimProbe) Elapsed() time.Duration { return sp.link.Now() - sp.start }
+
+// DataMB implements Probe: the data metered at the client — what actually
+// crossed its access link (overshoot beyond the bottleneck is dropped at the
+// bottleneck queue, not delivered over the radio).
+func (sp *SimProbe) DataMB() float64 { return sp.flow.DeliveredBytes() / 1e6 }
+
+// Close releases the probe's flow.
+func (sp *SimProbe) Close() { sp.flow.Close() }

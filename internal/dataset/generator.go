@@ -1,0 +1,422 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"github.com/mobilebandwidth/swiftest/internal/gmm"
+	"github.com/mobilebandwidth/swiftest/internal/spectrum"
+)
+
+// Config parameterises a Generator.
+type Config struct {
+	// Year selects the measurement year (2020 or 2021); the calibrations of
+	// §3 differ across the two (refarming, standard mixes, OS mixes).
+	Year int
+	// Seed drives all randomness; equal seeds give equal streams.
+	Seed int64
+}
+
+// Generator produces synthetic measurement records. It is a stream: each
+// Next call draws one record. Not safe for concurrent use; create one
+// Generator per goroutine.
+type Generator struct {
+	cfg Config
+	rng *rand.Rand
+
+	// Normalised calibration state, precomputed per year.
+	rss4G, rss5G   []float64
+	hour4G, hour5G [24]float64
+	android        map[int]float64
+	androidOrder   []int
+	urban4G        [2]float64 // urban, rural
+	urban5G        [2]float64
+	urbanWiFi      [2]float64
+	lteBandNames   []string
+	nrBandNames    []string
+}
+
+// NewGenerator returns a generator for cfg. Year must be 2020 or 2021.
+func NewGenerator(cfg Config) (*Generator, error) {
+	if cfg.Year != 2020 && cfg.Year != 2021 {
+		return nil, fmt.Errorf("dataset: year %d not calibrated (2020 or 2021)", cfg.Year)
+	}
+	g := &Generator{
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		rss4G:   normalizedRSS(Tech4G),
+		rss5G:   normalizedRSS(Tech5G),
+		hour4G:  normalizedHourFactor(hourFactor4G, hourlyLoad5G),
+		hour5G:  normalizedHourFactor(hourFactor5G, hourlyLoad5G),
+		android: normalizedAndroid(cfg.Year),
+	}
+	g.urban4G[0], g.urban4G[1] = normalizedUrban(Tech4G)
+	g.urban5G[0], g.urban5G[1] = normalizedUrban(Tech5G)
+	g.urbanWiFi[0], g.urbanWiFi[1] = normalizedUrban(TechWiFi)
+	for v := range g.android {
+		g.androidOrder = append(g.androidOrder, v)
+	}
+	sort.Ints(g.androidOrder)
+	for name := range lteBands[cfg.Year] {
+		g.lteBandNames = append(g.lteBandNames, name)
+	}
+	sort.Strings(g.lteBandNames)
+	for name := range nrBands[cfg.Year] {
+		g.nrBandNames = append(g.nrBandNames, name)
+	}
+	sort.Strings(g.nrBandNames)
+	return g, nil
+}
+
+// MustNewGenerator is NewGenerator, panicking on error.
+func MustNewGenerator(cfg Config) *Generator {
+	g, err := NewGenerator(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Generate draws n records.
+func (g *Generator) Generate(n int) []Record {
+	out := make([]Record, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
+
+// Next draws one record.
+func (g *Generator) Next() Record {
+	r := Record{Year: g.cfg.Year}
+
+	// Technology: cellular vs WiFi, then the within-cellular split.
+	if g.rng.Float64() < cellularShareOfTests {
+		shares := techSharesWithinCellular[g.cfg.Year]
+		u := g.rng.Float64()
+		switch {
+		case u < shares[Tech3G]:
+			r.Tech = Tech3G
+		case u < shares[Tech3G]+shares[Tech4G]:
+			r.Tech = Tech4G
+		default:
+			r.Tech = Tech5G
+		}
+	} else {
+		r.Tech = TechWiFi
+	}
+
+	// Common context.
+	r.Hour = g.drawHour()
+	r.CityID = g.rng.Intn(NumCities)
+	switch {
+	case r.CityID < NumMegaCities:
+		r.CityTier = CityMega
+	case r.CityID < NumMegaCities+NumMediumCities:
+		r.CityTier = CityMedium
+	default:
+		r.CityTier = CitySmall
+	}
+	r.Urban = g.rng.Float64() < urbanShare
+	r.AndroidVersion = g.drawAndroid()
+	r.DeviceModel = g.rng.Intn(NumDeviceModels)
+
+	switch r.Tech {
+	case Tech3G:
+		g.fill3G(&r)
+	case Tech4G:
+		g.fillCellular(&r, Tech4G)
+	case Tech5G:
+		g.fillCellular(&r, Tech5G)
+	case TechWiFi:
+		g.fillWiFi(&r)
+	}
+	r.StationID = g.drawStationID(&r)
+	if r.BandwidthMbps < 0.1 {
+		r.BandwidthMbps = 0.1
+	}
+	return r
+}
+
+func (g *Generator) drawHour() int {
+	var total float64
+	for _, w := range hourlyLoad5G {
+		total += w
+	}
+	u := g.rng.Float64() * total
+	var acc float64
+	for h, w := range hourlyLoad5G {
+		acc += w
+		if u <= acc {
+			return h
+		}
+	}
+	return 23
+}
+
+func (g *Generator) drawAndroid() int {
+	shares := androidShares[g.cfg.Year]
+	u := g.rng.Float64()
+	var acc float64
+	for _, v := range g.androidOrder {
+		acc += shares[v]
+		if u <= acc {
+			return v
+		}
+	}
+	return g.androidOrder[len(g.androidOrder)-1]
+}
+
+func (g *Generator) fill3G(r *Record) {
+	r.ISP = g.drawISP(cellISPShares[Tech4G])
+	r.Band = "B34"
+	g.fillSignal(r, Tech4G)
+	r.BandwidthMbps = math.Max(0.1, g.rng.NormFloat64()*1.5+3)
+}
+
+func (g *Generator) fillCellular(r *Record, tech Tech) {
+	r.ISP = g.drawISP(cellISPShares[tech])
+	bands := lteBands[g.cfg.Year]
+	ispBands := ispLTEBands[r.ISP]
+	shape := lteShape
+	rssFactors := g.rss4G
+	hourFactors := g.hour4G
+	urbanF := g.urban4G
+	if tech == Tech5G {
+		bands = nrBands[g.cfg.Year]
+		ispBands = ispNRBands[r.ISP]
+		shape = nrShape
+		rssFactors = g.rss5G
+		hourFactors = g.hour5G
+		urbanF = g.urban5G
+	}
+	r.Band = g.drawBand(ispBands)
+	stat, ok := bands[r.Band]
+	if !ok {
+		stat = bandStat{mean: 50}
+	}
+
+	level := g.fillSignal(r, tech)
+
+	bw := stat.mean * shape.Sample(g.rng)
+	bw *= rssFactors[level-1]
+	bw *= hourFactors[r.Hour]
+	bw *= cityFactor(r.CityID, tech)
+	if r.Urban {
+		bw *= urbanF[0]
+	} else {
+		bw *= urbanF[1]
+	}
+	bw *= g.android[r.AndroidVersion]
+	bw *= 1 + deviceBias(r.DeviceModel)
+	if tech == Tech5G {
+		if g.cfg.Year == 2020 {
+			bw *= nr2020Boost
+		}
+		if r.Band == "N78" && r.ISP == spectrum.ISP3 {
+			bw *= isp3N78Bonus
+		}
+	}
+	r.BandwidthMbps = bw
+}
+
+// fillSignal draws the RSS level and derived signal fields; returns the
+// level (1–5).
+func (g *Generator) fillSignal(r *Record, tech Tech) int {
+	u := g.rng.Float64()
+	var acc float64
+	level := len(rssLevels)
+	for i, l := range rssLevels {
+		acc += l.share
+		if u <= acc {
+			level = i + 1
+			break
+		}
+	}
+	l := rssLevels[level-1]
+	r.RSSLevel = level
+	r.RSSdBm = l.rssDBm + g.rng.NormFloat64()*2
+	r.SNRdB = math.Max(0, l.snrMean+g.rng.NormFloat64()*l.snrSigma)
+	// Excellent-RSS 5G tests concentrate in crowded urban areas (§3.3).
+	if tech == Tech5G && level == 5 && g.rng.Float64() < 0.85 {
+		r.Urban = true
+	}
+	return level
+}
+
+func (g *Generator) drawISP(shares map[spectrum.ISP]float64) spectrum.ISP {
+	u := g.rng.Float64()
+	var acc float64
+	for _, isp := range []spectrum.ISP{spectrum.ISP1, spectrum.ISP2, spectrum.ISP3, spectrum.ISP4} {
+		acc += shares[isp]
+		if u <= acc {
+			return isp
+		}
+	}
+	return spectrum.ISP1
+}
+
+func (g *Generator) drawBand(shares map[string]float64) string {
+	// Deterministic order for reproducibility.
+	names := make([]string, 0, len(shares))
+	for n := range shares {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var total float64
+	for _, n := range names {
+		total += shares[n]
+	}
+	u := g.rng.Float64() * total
+	var acc float64
+	for _, n := range names {
+		acc += shares[n]
+		if u <= acc {
+			return n
+		}
+	}
+	return names[len(names)-1]
+}
+
+func (g *Generator) fillWiFi(r *Record) {
+	r.ISP = g.drawISP(wifiISPShares)
+
+	// Standard and radio band.
+	stdShares := wifiStandardShares[g.cfg.Year]
+	u := g.rng.Float64()
+	switch {
+	case u < stdShares[4]:
+		r.WiFiStandard = 4
+	case u < stdShares[4]+stdShares[5]:
+		r.WiFiStandard = 5
+	default:
+		r.WiFiStandard = 6
+	}
+	if g.rng.Float64() < wifi24Share[r.WiFiStandard] {
+		r.WiFiRadio = Band24GHz
+	} else {
+		r.WiFiRadio = Band5GHz
+	}
+
+	// Broadband plan (Figure 16's clustering), with ISP-3's upgrade bias.
+	planIdx := g.drawPlanIndex(wifiPlanShares[r.WiFiStandard])
+	if r.ISP == spectrum.ISP3 && planIdx < len(broadbandPlans)-1 && g.rng.Float64() < isp3PlanUpgrade {
+		planIdx++
+	}
+	r.PlanMbps = broadbandPlans[planIdx]
+
+	// Bandwidth: wired plan capped by the air interface.
+	capModel := wifiRadioCap[r.WiFiStandard][r.WiFiRadio]
+	radio := capModel.Sample(g.rng)
+	wired := r.PlanMbps * (planEffMean + g.rng.NormFloat64()*planEffSigma)
+	bw := math.Min(wired, radio)
+	if r.Urban {
+		bw *= g.urbanWiFi[0]
+	} else {
+		bw *= g.urbanWiFi[1]
+	}
+	bw *= g.android[r.AndroidVersion]
+	bw *= 1 + deviceBias(r.DeviceModel)
+	r.BandwidthMbps = bw
+}
+
+// drawStationID assigns the serving station. Cellular tests attach to one
+// of a few hundred base stations per (city, band) — users cluster on nearby
+// towers — while WiFi tests are drawn from a much larger AP space (home
+// APs), matching §3.1's 2.04M BSes vs 4.47M APs asymmetry.
+func (g *Generator) drawStationID(r *Record) uint32 {
+	if r.Tech == TechWiFi {
+		// Home APs: nearly one per user — a wide ID space.
+		return uint32(g.rng.Intn(1 << 22))
+	}
+	// Base stations: a few hundred per city and band.
+	base := hash64(uint64(r.CityID)<<16 ^ uint64(len(r.Band)) ^ uint64(r.Band[0]))
+	return uint32(base%1_000_000)*512 + uint32(g.rng.Intn(400))
+}
+
+func (g *Generator) drawPlanIndex(shares []float64) int {
+	u := g.rng.Float64()
+	var acc float64
+	for i, s := range shares {
+		acc += s
+		if u <= acc {
+			return i
+		}
+	}
+	return len(shares) - 1
+}
+
+// TechModel returns the calibrated bandwidth mixture for a technology in a
+// year — the model Swiftest's data-driven probing consumes (Figures 16, 18,
+// 19). The mixture is the technology shape scaled to the year's
+// share-weighted technology mean.
+func TechModel(tech Tech, year int) (*gmm.Model, error) {
+	var shape *gmm.Model
+	var mean float64
+	switch tech {
+	case Tech4G:
+		shape = lteShape
+		mean = weightedBandMean(lteBands[year])
+	case Tech5G:
+		shape = nrShape
+		mean = weightedBandMean(nrBands[year])
+		if year == 2020 {
+			mean *= nr2020Boost
+		}
+	case TechWiFi:
+		// WiFi's mixture is plan-driven; approximate with plan clusters
+		// weighted by the standard mix.
+		return wifiModel(year)
+	default:
+		return nil, fmt.Errorf("dataset: no bandwidth model for %v", tech)
+	}
+	comps := make([]gmm.Component, 0, shape.K())
+	for _, c := range shape.Components() {
+		comps = append(comps, gmm.Component{Weight: c.Weight, Mu: c.Mu * mean, Sigma: c.Sigma * mean})
+	}
+	return gmm.New(comps...)
+}
+
+func weightedBandMean(bands map[string]bandStat) float64 {
+	names := make([]string, 0, len(bands))
+	for n := range bands {
+		names = append(names, n)
+	}
+	sort.Strings(names) // fixed order: float sums must be reproducible
+	var m, w float64
+	for _, n := range names {
+		m += bands[n].share * bands[n].mean
+		w += bands[n].share
+	}
+	if w == 0 {
+		return 0
+	}
+	return m / w
+}
+
+// wifiModel builds the WiFi mixture from the plan clusters (§3.4): one mode
+// per broadband tier plus a low mode for radio-limited 2.4 GHz links.
+func wifiModel(year int) (*gmm.Model, error) {
+	stdShares := wifiStandardShares[year]
+	weights := make([]float64, len(broadbandPlans))
+	var low float64
+	for std := 4; std <= 6; std++ { // fixed order: float sums must be reproducible
+		share := stdShares[std]
+		s24 := wifi24Share[std]
+		low += share * s24
+		for i, ps := range wifiPlanShares[std] {
+			weights[i] += share * (1 - s24) * ps
+		}
+	}
+	comps := []gmm.Component{{Weight: low, Mu: 40, Sigma: 18}}
+	for i, p := range broadbandPlans {
+		comps = append(comps, gmm.Component{
+			Weight: weights[i],
+			Mu:     p * planEffMean,
+			Sigma:  math.Max(8, p*0.09),
+		})
+	}
+	return gmm.New(comps...)
+}

@@ -1,0 +1,56 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJSONLRoundTrip(t *testing.T) {
+	records := MustNewGenerator(Config{Year: 2021, Seed: 2}).Generate(500)
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, records); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(records) {
+		t.Fatalf("read %d records, wrote %d", len(got), len(records))
+	}
+	for i := range records {
+		if got[i] != records[i] {
+			t.Fatalf("record %d round-trip mismatch:\n got %+v\nwant %+v", i, got[i], records[i])
+		}
+	}
+}
+
+func TestReadJSONLSkipsBlankLines(t *testing.T) {
+	records := MustNewGenerator(Config{Year: 2021, Seed: 3}).Generate(2)
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, records); err != nil {
+		t.Fatal(err)
+	}
+	withBlanks := strings.ReplaceAll(buf.String(), "\n", "\n\n")
+	got, err := ReadJSONL(strings.NewReader(withBlanks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d records", len(got))
+	}
+}
+
+func TestReadJSONLMalformed(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("{\"Year\": 2021}\nnot-json\n")); err == nil {
+		t.Error("malformed line accepted")
+	}
+}
+
+func TestReadJSONLEmpty(t *testing.T) {
+	got, err := ReadJSONL(strings.NewReader(""))
+	if err != nil || got != nil {
+		t.Errorf("empty input: %v, %v", got, err)
+	}
+}

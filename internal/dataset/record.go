@@ -1,0 +1,118 @@
+// Package dataset generates synthetic measurement records that stand in for
+// the paper's 23.6M-test crowdsourced dataset (see DESIGN.md's substitution
+// table). Every marginal distribution §3 reports — per-technology bandwidth
+// mixtures, per-band means, RSS/SNR effects, diurnal load, WiFi broadband-plan
+// clustering, Android-version effects, ISP differences, urban/rural gaps, the
+// 2020→2021 evolution — is encoded as ground truth in calibration.go; the
+// generator draws records from those distributions so that the analysis
+// pipeline (package analysis) can recover the paper's findings end to end.
+package dataset
+
+import (
+	"fmt"
+
+	"github.com/mobilebandwidth/swiftest/internal/spectrum"
+)
+
+// Tech is the access technology of one bandwidth test.
+type Tech int
+
+// Access technologies observed in the study (§3.1).
+const (
+	Tech3G Tech = iota
+	Tech4G
+	Tech5G
+	TechWiFi
+)
+
+// String implements fmt.Stringer.
+func (t Tech) String() string {
+	switch t {
+	case Tech3G:
+		return "3G"
+	case Tech4G:
+		return "4G"
+	case Tech5G:
+		return "5G"
+	case TechWiFi:
+		return "WiFi"
+	default:
+		return fmt.Sprintf("Tech(%d)", int(t))
+	}
+}
+
+// CityTier classifies the 326 cities of §3.1.
+type CityTier int
+
+// City tiers: 21 mega, 51 medium, 254 small cities.
+const (
+	CityMega CityTier = iota
+	CityMedium
+	CitySmall
+)
+
+// String implements fmt.Stringer.
+func (c CityTier) String() string {
+	switch c {
+	case CityMega:
+		return "mega"
+	case CityMedium:
+		return "medium"
+	default:
+		return "small"
+	}
+}
+
+// RadioBand is a WiFi radio frequency band.
+type RadioBand int
+
+// WiFi radio bands; WiFi 5 uses 5 GHz only (§3.4 footnote).
+const (
+	Band24GHz RadioBand = iota
+	Band5GHz
+)
+
+// String implements fmt.Stringer.
+func (r RadioBand) String() string {
+	if r == Band24GHz {
+		return "2.4GHz"
+	}
+	return "5GHz"
+}
+
+// Record is one access-bandwidth test with the cross-layer metadata the
+// BTS-APP plugin collects (§2): device-side signal conditions, base-station
+// connection info for cellular, and AP capabilities for WiFi.
+type Record struct {
+	Year int // 2020 or 2021
+	Hour int // local time-of-day, 0–23
+
+	ISP      spectrum.ISP
+	CityID   int
+	CityTier CityTier
+	Urban    bool
+
+	Tech Tech
+
+	// Cellular fields (Tech3G/4G/5G).
+	Band     string  // 3GPP band name, e.g. "B3" or "N78"
+	RSSLevel int     // received signal strength level, 1 (poor) – 5 (excellent)
+	RSSdBm   float64 // raw RSS
+	SNRdB    float64 // signal-to-noise ratio
+
+	// WiFi fields (TechWiFi).
+	WiFiStandard int       // 4, 5 or 6
+	WiFiRadio    RadioBand // 2.4 GHz or 5 GHz
+	PlanMbps     float64   // the household's fixed-broadband plan
+
+	// Device/software fields.
+	AndroidVersion int // 5–12
+	DeviceModel    int // anonymised model id
+
+	// StationID identifies the serving cellular base station or WiFi AP
+	// (anonymised; the study spans 2.04M BSes and 4.47M APs, §3.1).
+	StationID uint32
+
+	// BandwidthMbps is the measured access bandwidth.
+	BandwidthMbps float64
+}

@@ -1,0 +1,282 @@
+// Package emu emulates a mobile access link for the *real* UDP transport: a
+// datagram relay that sits between a Swiftest client and a test server and
+// imposes a bottleneck rate, propagation delay, a drop-tail queue, and
+// random loss on the downlink probe traffic.
+//
+// This closes the loop between the virtual-time experiments (package
+// linksim) and the wire: the same client/server binaries that run in
+// production can be exercised end-to-end under 4G/5G/WiFi-like conditions on
+// loopback. Uplink traffic (the client's small control messages) is forwarded
+// unshaped, mirroring the asymmetry of real access links whose bottleneck is
+// the downlink.
+package emu
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config describes the emulated access link.
+type Config struct {
+	// Target is the real test server ("host:port"). Required.
+	Target string
+	// RateMbps is the downlink bottleneck. Required.
+	RateMbps float64
+	// Delay is the added one-way downlink propagation delay.
+	Delay time.Duration
+	// LossRate is the probability of dropping each downlink datagram.
+	LossRate float64
+	// QueueBytes sizes the drop-tail bottleneck queue; zero selects 256 KiB.
+	QueueBytes int
+	// Seed drives the loss process.
+	Seed int64
+}
+
+func (c Config) validate() error {
+	if c.Target == "" {
+		return errors.New("emu: Target is required")
+	}
+	if c.RateMbps <= 0 {
+		return fmt.Errorf("emu: rate %g Mbps must be positive", c.RateMbps)
+	}
+	if c.LossRate < 0 || c.LossRate >= 1 {
+		return fmt.Errorf("emu: loss rate %g out of [0,1)", c.LossRate)
+	}
+	return nil
+}
+
+// Relay is a running link emulator. Clients dial Relay.Addr() instead of the
+// real server.
+type Relay struct {
+	cfg      Config
+	listener *net.UDPConn
+	target   *net.UDPAddr
+	closed   atomic.Bool
+	wg       sync.WaitGroup
+
+	mu    sync.Mutex
+	peers map[string]*peerPipe
+
+	delivered atomic.Int64 // downlink bytes delivered after shaping
+	dropped   atomic.Int64 // downlink datagrams dropped (queue or loss)
+}
+
+// peerPipe is the per-client state: an upstream socket plus the shaped
+// downlink queue.
+type peerPipe struct {
+	clientAddr *net.UDPAddr
+	upstream   *net.UDPConn
+	queue      chan []byte
+	queued     atomic.Int64 // bytes currently queued
+	stop       chan struct{}
+	stopOnce   sync.Once
+}
+
+// NewRelay starts a relay on 127.0.0.1:0 shaping traffic toward cfg.Target.
+func NewRelay(cfg Config) (*Relay, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.QueueBytes <= 0 {
+		cfg.QueueBytes = 256 << 10
+	}
+	target, err := net.ResolveUDPAddr("udp", cfg.Target)
+	if err != nil {
+		return nil, fmt.Errorf("emu: resolving target %q: %w", cfg.Target, err)
+	}
+	ln, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return nil, fmt.Errorf("emu: listening: %w", err)
+	}
+	r := &Relay{cfg: cfg, listener: ln, target: target, peers: map[string]*peerPipe{}}
+	r.wg.Add(1)
+	go r.uplinkLoop()
+	return r, nil
+}
+
+// Addr reports the relay's client-facing address.
+func (r *Relay) Addr() string { return r.listener.LocalAddr().String() }
+
+// DeliveredBytes reports downlink bytes delivered through the bottleneck.
+func (r *Relay) DeliveredBytes() int64 { return r.delivered.Load() }
+
+// DroppedPackets reports downlink datagrams dropped by queue overflow or
+// random loss.
+func (r *Relay) DroppedPackets() int64 { return r.dropped.Load() }
+
+// Close stops the relay and all per-client pipes.
+func (r *Relay) Close() error {
+	if r.closed.Swap(true) {
+		return nil
+	}
+	err := r.listener.Close()
+	r.mu.Lock()
+	for _, p := range r.peers {
+		p.shutdown()
+	}
+	r.mu.Unlock()
+	r.wg.Wait()
+	return err
+}
+
+// uplinkLoop forwards client datagrams to the target unshaped, creating the
+// per-client downlink pipe on first contact.
+func (r *Relay) uplinkLoop() {
+	defer r.wg.Done()
+	buf := make([]byte, 64<<10)
+	for {
+		n, client, err := r.listener.ReadFromUDP(buf)
+		if err != nil {
+			if r.closed.Load() {
+				return
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue
+			}
+			return
+		}
+		pipe, err := r.pipeFor(client)
+		if err != nil {
+			continue
+		}
+		if _, err := pipe.upstream.Write(buf[:n]); err != nil && r.closed.Load() {
+			return
+		}
+	}
+}
+
+func (r *Relay) pipeFor(client *net.UDPAddr) (*peerPipe, error) {
+	key := client.String()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if p, ok := r.peers[key]; ok {
+		return p, nil
+	}
+	up, err := net.DialUDP("udp", nil, r.target)
+	if err != nil {
+		return nil, err
+	}
+	_ = up.SetReadBuffer(4 << 20)
+	p := &peerPipe{
+		clientAddr: client,
+		upstream:   up,
+		queue:      make(chan []byte, 4096),
+		stop:       make(chan struct{}),
+	}
+	r.peers[key] = p
+	r.wg.Add(2)
+	go r.downlinkIngest(p)
+	go r.downlinkPacer(p)
+	return p, nil
+}
+
+func (p *peerPipe) shutdown() {
+	p.stopOnce.Do(func() {
+		close(p.stop)
+		p.upstream.Close()
+	})
+}
+
+// downlinkIngest reads server datagrams and enqueues them at the bottleneck,
+// applying drop-tail and random loss.
+func (r *Relay) downlinkIngest(p *peerPipe) {
+	defer r.wg.Done()
+	rng := rand.New(rand.NewSource(r.cfg.Seed))
+	buf := make([]byte, 64<<10)
+	for {
+		_ = p.upstream.SetReadDeadline(time.Now().Add(time.Second))
+		n, err := p.upstream.Read(buf)
+		if err != nil {
+			if r.closed.Load() {
+				return
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				select {
+				case <-p.stop:
+					return
+				default:
+					continue
+				}
+			}
+			return
+		}
+		if r.cfg.LossRate > 0 && rng.Float64() < r.cfg.LossRate {
+			r.dropped.Add(1)
+			continue
+		}
+		if p.queued.Load()+int64(n) > int64(r.cfg.QueueBytes) {
+			r.dropped.Add(1) // drop-tail: the bottleneck queue is full
+			continue
+		}
+		pkt := make([]byte, n)
+		copy(pkt, buf[:n])
+		select {
+		case p.queue <- pkt:
+			p.queued.Add(int64(n))
+		default:
+			r.dropped.Add(1)
+		}
+	}
+}
+
+// downlinkPacer drains the bottleneck queue at the configured rate and
+// delivers each datagram to the client after the propagation delay.
+func (r *Relay) downlinkPacer(p *peerPipe) {
+	defer r.wg.Done()
+	bytesPerSec := r.cfg.RateMbps * 1e6 / 8
+	var debt float64 // seconds of transmission time owed to the bottleneck
+	last := time.Now()
+	for {
+		var pkt []byte
+		select {
+		case <-p.stop:
+			return
+		case pkt = <-p.queue:
+		}
+		p.queued.Add(-int64(len(pkt)))
+
+		// Serialisation time at the bottleneck, amortised against wall time.
+		// Sleep overshoot becomes bounded credit (debt going negative) so
+		// the long-run rate stays exact even with coarse timers; the bound
+		// caps catch-up bursts at 10 ms of line rate.
+		now := time.Now()
+		debt -= now.Sub(last).Seconds()
+		if debt < -0.010 {
+			debt = -0.010
+		}
+		last = now
+		debt += float64(len(pkt)) / bytesPerSec
+		if debt > 0.002 { // sleep in ≥2 ms chunks to bound timer churn
+			time.Sleep(time.Duration(debt * float64(time.Second)))
+		}
+
+		if r.cfg.Delay > 0 {
+			// Propagation delay is pipelined: schedule the delivery without
+			// blocking the bottleneck.
+			delivery := append([]byte(nil), pkt...)
+			time.AfterFunc(r.cfg.Delay, func() {
+				if r.closed.Load() {
+					return
+				}
+				if _, err := r.listener.WriteToUDP(delivery, p.clientAddr); err == nil {
+					r.delivered.Add(int64(len(delivery)))
+				}
+			})
+			continue
+		}
+		if _, err := r.listener.WriteToUDP(pkt, p.clientAddr); err != nil {
+			if r.closed.Load() {
+				return
+			}
+			continue
+		}
+		r.delivered.Add(int64(len(pkt)))
+	}
+}

@@ -1,0 +1,410 @@
+// Package linksim is a virtual-time emulator of a mobile access link. It is
+// the substrate on which every bandwidth-testing experiment in this
+// repository runs: BTS-APP's probing-by-flooding, the FAST and FastBTS
+// baselines, Swiftest's data-driven probing, and the TCP ramp-up study of
+// Figure 17.
+//
+// The emulator advances in fixed ticks of virtual time. Each tick the link
+// has an instantaneous capacity (base capacity modulated by multiplicative
+// fluctuation noise, an optional diurnal/base-station-sleeping factor, and an
+// optional token-bucket traffic shaper), which is divided across the active
+// flows by max-min fair sharing — the same proportional-fair behaviour that
+// base stations and APs implement (§5.1). A drop-tail queue models buffering:
+// offered traffic beyond capacity accumulates queueing delay, and overflow
+// produces loss signals that drive the TCP congestion-control models in
+// package cc.
+//
+// Because time is virtual, a full 10-second BTS-APP test simulates in
+// microseconds, making it affordable to regenerate every figure of the paper
+// inside `go test -bench`.
+package linksim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Tick is the emulator's time step. All rate changes and samples resolve at
+// this granularity; the 50 ms bandwidth samples used by every BTS correspond
+// to five ticks.
+const Tick = 10 * time.Millisecond
+
+// Shaper models ISP/AP traffic shaping: a token bucket that allows BurstMB of
+// unshaped traffic, after which throughput is clamped to SustainedMbps. The
+// paper observes such shaping as the cause of the >30 % deviation tail in
+// Figure 22.
+type Shaper struct {
+	BurstMB       float64 // unshaped initial allowance
+	SustainedMbps float64 // post-burst clamp
+}
+
+// Dips models episodic capacity drops — the bursty "severe network
+// fluctuations" §5.3 observes on some links, where samples "suddenly dropped
+// oftentimes". Dips start as a Poisson process and depress capacity by Depth
+// for Duration.
+type Dips struct {
+	RatePerSec float64       // expected dip starts per second
+	Depth      float64       // fractional capacity loss during a dip (0–1)
+	Duration   time.Duration // dip length
+}
+
+// Config describes an emulated access link.
+type Config struct {
+	// CapacityMbps is the base bottleneck capacity of the access link.
+	CapacityMbps float64
+	// RTT is the base round-trip time, before queueing delay.
+	RTT time.Duration
+	// LossRate is the per-tick probability of a spurious (non-congestion)
+	// loss signal, modelling the random losses common in cellular networks.
+	LossRate float64
+	// Fluctuation is the relative standard deviation of per-tick
+	// multiplicative capacity noise (e.g. 0.05 = 5 %). The noise is an
+	// AR(1) process so consecutive samples are correlated like real links.
+	Fluctuation float64
+	// BufferBDP sizes the bottleneck queue in multiples of the
+	// bandwidth-delay product. Zero means the default of 1.
+	BufferBDP float64
+	// CapacityFactor, if non-nil, scales capacity as a function of virtual
+	// time — used for diurnal patterns and the 5G base-station sleeping
+	// strategy of Figure 10.
+	CapacityFactor func(at time.Duration) float64
+	// Shaping, if non-nil, applies token-bucket traffic shaping.
+	Shaping *Shaper
+	// Dipping, if non-nil, adds episodic capacity drops.
+	Dipping *Dips
+	// BackgroundFlows adds contending always-on flows that consume a fair
+	// share of the link, modelling other users on the same BS/AP sector.
+	BackgroundFlows int
+}
+
+func (c Config) validate() error {
+	if c.CapacityMbps <= 0 {
+		return fmt.Errorf("linksim: capacity %g Mbps must be positive", c.CapacityMbps)
+	}
+	if c.RTT <= 0 {
+		return fmt.Errorf("linksim: RTT %v must be positive", c.RTT)
+	}
+	if c.LossRate < 0 || c.LossRate >= 1 {
+		return fmt.Errorf("linksim: loss rate %g out of [0,1)", c.LossRate)
+	}
+	return nil
+}
+
+// Link is one emulated access link carrying zero or more flows.
+type Link struct {
+	cfg        Config
+	rng        *rand.Rand
+	now        time.Duration
+	flows      []*Flow
+	noise      float64       // AR(1) state of the fluctuation process
+	queueBits  float64       // bottleneck queue occupancy in bits
+	shapedMB   float64       // cumulative traffic counted against the shaper burst
+	dipUntil   time.Duration // episodic dip active until this virtual time
+	background *Flow         // aggregate stand-in for background users, nil if none
+}
+
+// New returns a Link with the given configuration, seeded deterministically.
+func New(cfg Config, seed int64) (*Link, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.BufferBDP <= 0 {
+		cfg.BufferBDP = 1
+	}
+	l := &Link{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+	if cfg.BackgroundFlows > 0 {
+		l.background = l.NewFlow()
+	}
+	return l, nil
+}
+
+// MustNew is New, panicking on configuration errors.
+func MustNew(cfg Config, seed int64) *Link {
+	l, err := New(cfg, seed)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// Now reports the current virtual time.
+func (l *Link) Now() time.Duration { return l.now }
+
+// Config returns the link's configuration.
+func (l *Link) Config() Config { return l.cfg }
+
+// BaseRTT reports the configured propagation RTT.
+func (l *Link) BaseRTT() time.Duration { return l.cfg.RTT }
+
+// Flow is one traffic flow over a Link. A sender (congestion-control model or
+// UDP pacer) sets the flow's offered rate each tick; the link reports what
+// was actually delivered.
+type Flow struct {
+	link      *Link
+	offered   float64 // Mbps the sender wants to push this tick
+	achieved  float64 // Mbps actually delivered last tick
+	bits      float64 // cumulative delivered bits
+	lost      bool    // loss signal observed last tick
+	closed    bool
+	queueBits float64 // this flow's share of queued bits (for per-flow RTT)
+}
+
+// NewFlow attaches a new idle flow to the link.
+func (l *Link) NewFlow() *Flow {
+	f := &Flow{link: l}
+	l.flows = append(l.flows, f)
+	return f
+}
+
+// SetOffered sets the rate (Mbps) the sender will push during subsequent
+// ticks. Negative values are treated as zero.
+func (f *Flow) SetOffered(mbps float64) {
+	if mbps < 0 {
+		mbps = 0
+	}
+	f.offered = mbps
+}
+
+// Offered reports the currently offered rate in Mbps.
+func (f *Flow) Offered() float64 { return f.offered }
+
+// Achieved reports the rate (Mbps) delivered to this flow during the last
+// tick.
+func (f *Flow) Achieved() float64 { return f.achieved }
+
+// DeliveredBytes reports the cumulative bytes delivered to this flow.
+func (f *Flow) DeliveredBytes() float64 { return f.bits / 8 }
+
+// LossSignal reports whether the flow experienced loss during the last tick
+// (congestion overflow or spurious wireless loss).
+func (f *Flow) LossSignal() bool { return f.lost }
+
+// RTT reports the flow's current round-trip time including queueing delay at
+// the bottleneck.
+func (f *Flow) RTT() time.Duration {
+	cap := f.link.capacityNow()
+	if cap <= 0 {
+		return f.link.cfg.RTT
+	}
+	queueDelay := time.Duration(f.link.queueBits / (cap * 1e6) * float64(time.Second))
+	return f.link.cfg.RTT + queueDelay
+}
+
+// Close detaches the flow from the link; subsequent ticks deliver nothing.
+func (f *Flow) Close() {
+	if f.closed {
+		return
+	}
+	f.closed = true
+	f.offered = 0
+	flows := f.link.flows[:0]
+	for _, x := range f.link.flows {
+		if x != f {
+			flows = append(flows, x)
+		}
+	}
+	f.link.flows = flows
+}
+
+// capacityNow computes the link's instantaneous capacity before fair sharing.
+func (l *Link) capacityNow() float64 {
+	cap := l.cfg.CapacityMbps * (1 + l.noise)
+	if l.cfg.CapacityFactor != nil {
+		cap *= l.cfg.CapacityFactor(l.now)
+	}
+	if s := l.cfg.Shaping; s != nil && l.shapedMB >= s.BurstMB {
+		cap = math.Min(cap, s.SustainedMbps)
+	}
+	if d := l.cfg.Dipping; d != nil && l.now < l.dipUntil {
+		cap *= 1 - d.Depth
+	}
+	if cap < 0.1 {
+		cap = 0.1
+	}
+	return cap
+}
+
+// Advance moves virtual time forward by one Tick, allocating capacity to
+// flows max-min fairly and updating queue and loss state.
+func (l *Link) Advance() {
+	// Evolve the AR(1) fluctuation state: ρ·prev + √(1−ρ²)·σ·ε keeps the
+	// stationary s.d. at cfg.Fluctuation while correlating adjacent ticks.
+	const rho = 0.9
+	if l.cfg.Fluctuation > 0 {
+		l.noise = rho*l.noise + math.Sqrt(1-rho*rho)*l.cfg.Fluctuation*l.rng.NormFloat64()
+		if l.noise < -0.9 {
+			l.noise = -0.9
+		}
+	}
+	// Start episodic dips (Poisson arrivals).
+	if d := l.cfg.Dipping; d != nil && l.now >= l.dipUntil {
+		if l.rng.Float64() < d.RatePerSec*Tick.Seconds() {
+			l.dipUntil = l.now + d.Duration
+		}
+	}
+	// Background users contend for their fair share at full demand.
+	if l.background != nil {
+		l.background.offered = l.cfg.CapacityMbps * float64(l.cfg.BackgroundFlows)
+	}
+
+	cap := l.capacityNow()
+	shares := l.fairShare(cap)
+
+	tickSec := Tick.Seconds()
+	var offeredSum float64
+	for i, f := range l.flows {
+		f.lost = false
+		granted := shares[i]
+		f.achieved = granted
+		deliveredBits := granted * 1e6 * tickSec
+		f.bits += deliveredBits
+		offeredSum += f.offered
+		if l.cfg.LossRate > 0 && f.offered > 0 && l.rng.Float64() < l.cfg.LossRate {
+			f.lost = true
+		}
+	}
+
+	// Queue dynamics: excess offered traffic accumulates; overflow beyond
+	// the buffer produces congestion-loss signals for all backlogged flows.
+	excessBits := (offeredSum - cap) * 1e6 * tickSec
+	if excessBits > 0 {
+		l.queueBits += excessBits
+	} else {
+		l.queueBits += excessBits // drains when under-offered
+		if l.queueBits < 0 {
+			l.queueBits = 0
+		}
+	}
+	bufferBits := l.cfg.BufferBDP * l.cfg.CapacityMbps * 1e6 * l.cfg.RTT.Seconds()
+	if l.queueBits > bufferBits {
+		l.queueBits = bufferBits
+		for i, f := range l.flows {
+			if f.offered > shares[i] {
+				f.lost = true
+			}
+		}
+	}
+
+	// Account shaped traffic.
+	if l.cfg.Shaping != nil {
+		var delivered float64
+		for _, f := range l.flows {
+			delivered += f.achieved
+		}
+		l.shapedMB += delivered * 1e6 * tickSec / 8 / 1e6
+	}
+
+	l.now += Tick
+}
+
+// fairShare allocates cap Mbps across flows max-min fairly given their
+// offered rates. The returned slice is indexed like l.flows.
+func (l *Link) fairShare(cap float64) []float64 {
+	n := len(l.flows)
+	shares := make([]float64, n)
+	if n == 0 {
+		return shares
+	}
+	remaining := cap
+	active := make([]int, 0, n)
+	for i, f := range l.flows {
+		if f.offered > 0 {
+			active = append(active, i)
+		}
+	}
+	// Iteratively satisfy flows below the equal share; classic max-min.
+	for len(active) > 0 && remaining > 1e-12 {
+		equal := remaining / float64(len(active))
+		progressed := false
+		next := active[:0]
+		for _, i := range active {
+			want := l.flows[i].offered - shares[i]
+			if want <= equal {
+				shares[i] += want
+				remaining -= want
+				progressed = true
+			} else {
+				next = append(next, i)
+			}
+		}
+		active = next
+		if !progressed {
+			// Everyone wants more than the equal share: split evenly.
+			for _, i := range active {
+				shares[i] += equal
+			}
+			remaining = 0
+			break
+		}
+	}
+	return shares
+}
+
+// RunFor advances the link for the given virtual duration.
+func (l *Link) RunFor(d time.Duration) {
+	steps := int(d / Tick)
+	for i := 0; i < steps; i++ {
+		l.Advance()
+	}
+}
+
+// Sampler turns a flow's deliveries into the periodic bandwidth samples that
+// every BTS in the paper consumes (one sample each 50 ms).
+type Sampler struct {
+	flow     *Flow
+	interval time.Duration
+	lastBits float64
+	lastAt   time.Duration
+}
+
+// SampleInterval is the common 50 ms sampling period of BTS-APP, Speedtest
+// and Swiftest (§2, §5.1).
+const SampleInterval = 50 * time.Millisecond
+
+// NewSampler returns a sampler over flow with the standard 50 ms interval.
+func NewSampler(flow *Flow) *Sampler {
+	return &Sampler{flow: flow, interval: SampleInterval, lastAt: flow.link.Now()}
+}
+
+// Interval reports the sampling period.
+func (s *Sampler) Interval() time.Duration { return s.interval }
+
+// Ready reports whether a full interval has elapsed since the last Take.
+func (s *Sampler) Ready() bool { return s.flow.link.Now()-s.lastAt >= s.interval }
+
+// Take returns the throughput (Mbps) observed since the previous Take and
+// resets the window. Call when Ready.
+func (s *Sampler) Take() float64 {
+	now := s.flow.link.Now()
+	elapsed := (now - s.lastAt).Seconds()
+	if elapsed <= 0 {
+		return 0
+	}
+	bits := s.flow.bits - s.lastBits
+	s.lastBits = s.flow.bits
+	s.lastAt = now
+	return bits / elapsed / 1e6
+}
+
+// SleepingFactor returns a CapacityFactor implementing the 5G base-station
+// sleeping strategy of §3.3: between startHour and endHour (wrapping
+// midnight) the active antenna units are partially off, scaling capacity by
+// factor. hourOfDay maps virtual time to wall-clock hours via the given
+// origin hour.
+func SleepingFactor(startHour, endHour int, factor float64, originHour float64) func(time.Duration) float64 {
+	return func(at time.Duration) float64 {
+		h := math.Mod(originHour+at.Hours(), 24)
+		inWindow := false
+		if startHour <= endHour {
+			inWindow = h >= float64(startHour) && h < float64(endHour)
+		} else {
+			inWindow = h >= float64(startHour) || h < float64(endHour)
+		}
+		if inWindow {
+			return factor
+		}
+		return 1
+	}
+}

@@ -1,0 +1,356 @@
+package linksim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func testLink(t *testing.T, cfg Config) *Link {
+	t.Helper()
+	l, err := New(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []Config{
+		{CapacityMbps: 0, RTT: time.Millisecond},
+		{CapacityMbps: 100, RTT: 0},
+		{CapacityMbps: 100, RTT: time.Millisecond, LossRate: 1.5},
+		{CapacityMbps: 100, RTT: time.Millisecond, LossRate: -0.1},
+	}
+	for i, cfg := range cases {
+		if _, err := New(cfg, 1); err == nil {
+			t.Errorf("case %d: expected error for %+v", i, cfg)
+		}
+	}
+}
+
+func TestSingleFlowSaturates(t *testing.T) {
+	l := testLink(t, Config{CapacityMbps: 100, RTT: 30 * time.Millisecond})
+	f := l.NewFlow()
+	f.SetOffered(1000) // way above capacity
+	l.RunFor(time.Second)
+	if math.Abs(f.Achieved()-100) > 1e-6 {
+		t.Errorf("achieved = %g, want 100", f.Achieved())
+	}
+	// Delivered ≈ 100 Mbps × 1 s = 12.5 MB.
+	wantBytes := 100e6 / 8
+	if math.Abs(f.DeliveredBytes()-wantBytes) > wantBytes*0.01 {
+		t.Errorf("delivered = %g bytes, want ≈%g", f.DeliveredBytes(), wantBytes)
+	}
+}
+
+func TestUnderOfferedFlowGetsOffered(t *testing.T) {
+	l := testLink(t, Config{CapacityMbps: 100, RTT: 30 * time.Millisecond})
+	f := l.NewFlow()
+	f.SetOffered(40)
+	l.RunFor(500 * time.Millisecond)
+	if math.Abs(f.Achieved()-40) > 1e-9 {
+		t.Errorf("achieved = %g, want 40", f.Achieved())
+	}
+}
+
+func TestMaxMinFairness(t *testing.T) {
+	l := testLink(t, Config{CapacityMbps: 90, RTT: 30 * time.Millisecond})
+	small := l.NewFlow()
+	big1 := l.NewFlow()
+	big2 := l.NewFlow()
+	small.SetOffered(10)
+	big1.SetOffered(1000)
+	big2.SetOffered(1000)
+	l.Advance()
+	// Max-min: small gets 10, the rest split 80 evenly.
+	if math.Abs(small.Achieved()-10) > 1e-9 {
+		t.Errorf("small = %g, want 10", small.Achieved())
+	}
+	if math.Abs(big1.Achieved()-40) > 1e-9 || math.Abs(big2.Achieved()-40) > 1e-9 {
+		t.Errorf("big flows = %g/%g, want 40/40", big1.Achieved(), big2.Achieved())
+	}
+}
+
+// TestFairShareConservation property-checks that allocated capacity never
+// exceeds link capacity and never exceeds any flow's offered rate.
+func TestFairShareConservation(t *testing.T) {
+	f := func(offers []float64, capSeed uint32) bool {
+		if len(offers) == 0 || len(offers) > 20 {
+			return true
+		}
+		cap := 1 + float64(capSeed%10000)/10
+		l := MustNew(Config{CapacityMbps: cap, RTT: 20 * time.Millisecond}, 7)
+		flows := make([]*Flow, len(offers))
+		for i, o := range offers {
+			flows[i] = l.NewFlow()
+			flows[i].SetOffered(math.Abs(math.Mod(o, 5000)))
+		}
+		l.Advance()
+		var sum float64
+		for _, fl := range flows {
+			if fl.Achieved() > fl.Offered()+1e-9 {
+				return false
+			}
+			sum += fl.Achieved()
+		}
+		return sum <= cap+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(3))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFluctuationStaysNearCapacity(t *testing.T) {
+	l := testLink(t, Config{CapacityMbps: 300, RTT: 30 * time.Millisecond, Fluctuation: 0.05})
+	f := l.NewFlow()
+	f.SetOffered(10000)
+	var sum float64
+	n := 0
+	for i := 0; i < 1000; i++ {
+		l.Advance()
+		sum += f.Achieved()
+		n++
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-300) > 15 {
+		t.Errorf("mean achieved = %g, want ≈300", mean)
+	}
+}
+
+func TestSpuriousLossSignals(t *testing.T) {
+	l := testLink(t, Config{CapacityMbps: 100, RTT: 30 * time.Millisecond, LossRate: 0.5})
+	f := l.NewFlow()
+	f.SetOffered(10)
+	losses := 0
+	for i := 0; i < 1000; i++ {
+		l.Advance()
+		if f.LossSignal() {
+			losses++
+		}
+	}
+	if losses < 400 || losses > 600 {
+		t.Errorf("losses = %d/1000 at rate 0.5", losses)
+	}
+}
+
+func TestCongestionLossOnOverflow(t *testing.T) {
+	l := testLink(t, Config{CapacityMbps: 50, RTT: 20 * time.Millisecond, BufferBDP: 0.5})
+	f := l.NewFlow()
+	f.SetOffered(500) // 10x capacity: the buffer must overflow quickly
+	sawLoss := false
+	for i := 0; i < 100; i++ {
+		l.Advance()
+		if f.LossSignal() {
+			sawLoss = true
+			break
+		}
+	}
+	if !sawLoss {
+		t.Error("no congestion loss despite 10x overload")
+	}
+}
+
+func TestQueueInflatesRTT(t *testing.T) {
+	l := testLink(t, Config{CapacityMbps: 50, RTT: 20 * time.Millisecond, BufferBDP: 2})
+	f := l.NewFlow()
+	if f.RTT() != 20*time.Millisecond {
+		t.Errorf("idle RTT = %v, want 20ms", f.RTT())
+	}
+	f.SetOffered(500)
+	l.RunFor(200 * time.Millisecond)
+	if f.RTT() <= 20*time.Millisecond {
+		t.Errorf("backlogged RTT = %v, want > base", f.RTT())
+	}
+}
+
+func TestRTTDrainsAfterBacklog(t *testing.T) {
+	l := testLink(t, Config{CapacityMbps: 50, RTT: 20 * time.Millisecond, BufferBDP: 2})
+	f := l.NewFlow()
+	f.SetOffered(500)
+	l.RunFor(200 * time.Millisecond)
+	inflated := f.RTT()
+	f.SetOffered(0)
+	l.RunFor(2 * time.Second)
+	if f.RTT() >= inflated {
+		t.Errorf("queue did not drain: %v → %v", inflated, f.RTT())
+	}
+}
+
+func TestShaperClampsAfterBurst(t *testing.T) {
+	l := testLink(t, Config{
+		CapacityMbps: 200, RTT: 20 * time.Millisecond,
+		Shaping: &Shaper{BurstMB: 5, SustainedMbps: 50},
+	})
+	f := l.NewFlow()
+	f.SetOffered(1000)
+	// Burn through the burst: 200 Mbps = 25 MB/s, so 5 MB ≈ 200 ms.
+	l.RunFor(400 * time.Millisecond)
+	if f.Achieved() > 51 {
+		t.Errorf("post-burst achieved = %g, want ≤50", f.Achieved())
+	}
+}
+
+func TestCapacityFactorApplies(t *testing.T) {
+	halved := func(at time.Duration) float64 { return 0.5 }
+	l := testLink(t, Config{CapacityMbps: 100, RTT: 20 * time.Millisecond, CapacityFactor: halved})
+	f := l.NewFlow()
+	f.SetOffered(1000)
+	l.Advance()
+	if math.Abs(f.Achieved()-50) > 1e-9 {
+		t.Errorf("achieved = %g with 0.5 factor, want 50", f.Achieved())
+	}
+}
+
+func TestBackgroundFlowsContend(t *testing.T) {
+	l := testLink(t, Config{CapacityMbps: 100, RTT: 20 * time.Millisecond, BackgroundFlows: 1})
+	f := l.NewFlow()
+	f.SetOffered(1000)
+	l.Advance()
+	if math.Abs(f.Achieved()-50) > 1 {
+		t.Errorf("achieved = %g with one background flow, want ≈50", f.Achieved())
+	}
+}
+
+func TestFlowClose(t *testing.T) {
+	l := testLink(t, Config{CapacityMbps: 100, RTT: 20 * time.Millisecond})
+	a := l.NewFlow()
+	b := l.NewFlow()
+	a.SetOffered(1000)
+	b.SetOffered(1000)
+	l.Advance()
+	a.Close()
+	a.Close() // idempotent
+	l.Advance()
+	if math.Abs(b.Achieved()-100) > 1e-9 {
+		t.Errorf("survivor achieved = %g after close, want 100", b.Achieved())
+	}
+}
+
+func TestSampler(t *testing.T) {
+	l := testLink(t, Config{CapacityMbps: 80, RTT: 20 * time.Millisecond})
+	f := l.NewFlow()
+	f.SetOffered(1000)
+	s := NewSampler(f)
+	if s.Ready() {
+		t.Error("sampler ready before any time passed")
+	}
+	l.RunFor(SampleInterval)
+	if !s.Ready() {
+		t.Fatal("sampler not ready after one interval")
+	}
+	got := s.Take()
+	if math.Abs(got-80) > 1e-6 {
+		t.Errorf("sample = %g, want 80", got)
+	}
+	// After Take the window resets.
+	if s.Ready() {
+		t.Error("sampler still ready immediately after Take")
+	}
+}
+
+func TestSamplerSeriesTracksRateChanges(t *testing.T) {
+	l := testLink(t, Config{CapacityMbps: 500, RTT: 20 * time.Millisecond})
+	f := l.NewFlow()
+	s := NewSampler(f)
+	f.SetOffered(100)
+	l.RunFor(SampleInterval)
+	first := s.Take()
+	f.SetOffered(400)
+	l.RunFor(SampleInterval)
+	second := s.Take()
+	if math.Abs(first-100) > 1e-6 || math.Abs(second-400) > 1e-6 {
+		t.Errorf("samples = %g, %g; want 100, 400", first, second)
+	}
+}
+
+func TestSleepingFactor(t *testing.T) {
+	// Sleeping 21:00–9:00 at factor 0.8, origin at hour 20.
+	fac := SleepingFactor(21, 9, 0.8, 20)
+	if got := fac(0); got != 1 { // hour 20: awake
+		t.Errorf("factor(20h) = %g, want 1", got)
+	}
+	if got := fac(2 * time.Hour); got != 0.8 { // hour 22: asleep
+		t.Errorf("factor(22h) = %g, want 0.8", got)
+	}
+	if got := fac(10 * time.Hour); got != 0.8 { // hour 6: asleep
+		t.Errorf("factor(6h) = %g, want 0.8", got)
+	}
+	if got := fac(14 * time.Hour); got != 1 { // hour 10: awake
+		t.Errorf("factor(10h) = %g, want 1", got)
+	}
+	// Non-wrapping window.
+	day := SleepingFactor(9, 17, 0.5, 0)
+	if got := day(10 * time.Hour); got != 0.5 {
+		t.Errorf("day factor(10h) = %g, want 0.5", got)
+	}
+	if got := day(20 * time.Hour); got != 1 {
+		t.Errorf("day factor(20h) = %g, want 1", got)
+	}
+}
+
+func TestDeterminismAcrossSeeds(t *testing.T) {
+	run := func(seed int64) float64 {
+		l := MustNew(Config{CapacityMbps: 200, RTT: 30 * time.Millisecond, Fluctuation: 0.1}, seed)
+		f := l.NewFlow()
+		f.SetOffered(1000)
+		l.RunFor(time.Second)
+		return f.DeliveredBytes()
+	}
+	if run(42) != run(42) {
+		t.Error("same seed produced different results")
+	}
+	if run(42) == run(43) {
+		t.Error("different seeds produced identical fluctuating results")
+	}
+}
+
+func TestDipsDepressCapacity(t *testing.T) {
+	l := testLink(t, Config{
+		CapacityMbps: 100,
+		RTT:          20 * time.Millisecond,
+		Dipping:      &Dips{RatePerSec: 2, Depth: 0.5, Duration: 200 * time.Millisecond},
+	})
+	f := l.NewFlow()
+	f.SetOffered(1000)
+	dipped := 0
+	n := 2000
+	var sum float64
+	for i := 0; i < n; i++ {
+		l.Advance()
+		sum += f.Achieved()
+		if f.Achieved() < 60 {
+			dipped++
+		}
+	}
+	if dipped == 0 {
+		t.Fatal("no dips observed at 2 dips/s over 20 s")
+	}
+	// Expected dip occupancy ≈ rate × duration = 0.4 of the time (capped by
+	// non-overlap); allow a wide band.
+	frac := float64(dipped) / float64(n)
+	if frac < 0.1 || frac > 0.6 {
+		t.Errorf("dip occupancy = %.2f, want ≈0.3", frac)
+	}
+	mean := sum / float64(n)
+	if mean >= 99 {
+		t.Errorf("mean %.1f shows dips had no effect", mean)
+	}
+	if mean < 60 {
+		t.Errorf("mean %.1f too low: dips should be episodic, not permanent", mean)
+	}
+}
+
+func TestNoDipsWithoutConfig(t *testing.T) {
+	l := testLink(t, Config{CapacityMbps: 100, RTT: 20 * time.Millisecond})
+	f := l.NewFlow()
+	f.SetOffered(1000)
+	for i := 0; i < 500; i++ {
+		l.Advance()
+		if f.Achieved() < 99.9 {
+			t.Fatalf("capacity dipped to %g without a Dips config", f.Achieved())
+		}
+	}
+}

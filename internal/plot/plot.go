@@ -1,0 +1,129 @@
+// Package plot renders small terminal charts — bars, sparklines, and CDF
+// grids — for the CLIs' reports (cmd/analyze, cmd/btsbench). The paper's
+// figures are line/bar charts; these renderings make the regenerated data
+// legible without leaving the terminal.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"github.com/mobilebandwidth/swiftest/internal/stats"
+)
+
+// Bar renders one horizontal bar scaled so that maxValue fills width runes.
+func Bar(value, maxValue float64, width int) string {
+	if width <= 0 || maxValue <= 0 || value <= 0 {
+		return ""
+	}
+	n := int(math.Round(value / maxValue * float64(width)))
+	if n > width {
+		n = width
+	}
+	if n <= 0 && value > 0 {
+		n = 1
+	}
+	return strings.Repeat("█", n)
+}
+
+// BarChart renders labelled horizontal bars with values, one row per entry.
+type BarChart struct {
+	Rows []BarRow
+	// Width is the bar width in runes; zero selects 40.
+	Width int
+	// Unit is appended to each value (e.g. "Mbps").
+	Unit string
+}
+
+// BarRow is one labelled value.
+type BarRow struct {
+	Label string
+	Value float64
+}
+
+// Render draws the chart.
+func (b BarChart) Render() string {
+	if len(b.Rows) == 0 {
+		return ""
+	}
+	width := b.Width
+	if width <= 0 {
+		width = 40
+	}
+	var maxV float64
+	labelW := 0
+	for _, r := range b.Rows {
+		maxV = math.Max(maxV, r.Value)
+		if len(r.Label) > labelW {
+			labelW = len(r.Label)
+		}
+	}
+	var sb strings.Builder
+	for _, r := range b.Rows {
+		fmt.Fprintf(&sb, "%-*s %8.1f %s %s\n", labelW, r.Label, r.Value, b.Unit, Bar(r.Value, maxV, width))
+	}
+	return sb.String()
+}
+
+// sparkRunes are the eight block glyphs of a sparkline.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders values as a one-line sparkline scaled to the data range.
+func Sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	lo, hi := values[0], values[0]
+	for _, v := range values {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	var sb strings.Builder
+	for _, v := range values {
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(sparkRunes)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sparkRunes) {
+			idx = len(sparkRunes) - 1
+		}
+		sb.WriteRune(sparkRunes[idx])
+	}
+	return sb.String()
+}
+
+// CDF renders an empirical CDF as an ASCII grid of the given size: X spans
+// [0, max], Y spans [0, 1]. Points are the cumulative fractions from
+// stats.Sample.CDF.
+func CDF(points []stats.CDFPoint, width, height int) string {
+	if len(points) == 0 || width <= 0 || height <= 0 {
+		return ""
+	}
+	maxX := points[len(points)-1].X
+	if maxX <= 0 {
+		return ""
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for _, p := range points {
+		col := int(p.X / maxX * float64(width-1))
+		rowFromBottom := int(p.F * float64(height-1))
+		row := height - 1 - rowFromBottom
+		if col >= 0 && col < width && row >= 0 && row < height {
+			grid[row][col] = '*'
+		}
+	}
+	var sb strings.Builder
+	for i, row := range grid {
+		frac := 1 - float64(i)/float64(height-1)
+		fmt.Fprintf(&sb, "%4.2f |%s|\n", frac, string(row))
+	}
+	fmt.Fprintf(&sb, "      0%s%.0f\n", strings.Repeat(" ", width-len(fmt.Sprintf("%.0f", maxX))), maxX)
+	return sb.String()
+}

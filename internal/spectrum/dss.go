@@ -1,0 +1,130 @@
+package spectrum
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file models §7's refarming-strategy comparison: Chinese ISPs
+// statically split spectrum between LTE and NR (the refarming whose fallout
+// §3 measures), while US ISPs use Dynamic Spectrum Sharing (DSS), which
+// reassigns the same band between technologies on a fast timescale at the
+// cost of a fixed control-overhead tax. Both approaches can degrade both
+// networks (§7); these functions quantify when each wins.
+
+// DSSOverhead is the canonical control-channel overhead of dynamic sharing:
+// always-on LTE reference signals and scheduling coordination cost roughly
+// this fraction of the shared band's capacity.
+const DSSOverhead = 0.12
+
+// StaticSplit is a fixed partition of a band between LTE and NR: the Chinese
+// refarming model. NRFraction of the band's usable spectrum goes to NR.
+type StaticSplit struct {
+	Band       Band
+	NRFraction float64 // 0–1
+}
+
+// Validate checks the split's invariants.
+func (s StaticSplit) Validate() error {
+	if s.NRFraction < 0 || s.NRFraction > 1 {
+		return fmt.Errorf("spectrum: NR fraction %g out of [0,1]", s.NRFraction)
+	}
+	return nil
+}
+
+// Capacities returns the LTE and NR capacities (Mbps) of the static split
+// under the given SNR and efficiency, for demand-independent provisioning.
+func (s StaticSplit) Capacities(snrDB, efficiency float64) (lte, nr float64) {
+	width := s.Band.UsableContiguousMHz()
+	nrMHz := width * s.NRFraction
+	lteMHz := width - nrMHz
+	return Capacity(lteMHz, snrDB, efficiency), Capacity(nrMHz, snrDB, efficiency)
+}
+
+// DSSCapacities returns the LTE and NR capacities of a dynamically shared
+// band for a given instantaneous NR demand fraction: the whole band (minus
+// the DSS overhead tax) is split in proportion to demand.
+func DSSCapacities(band Band, nrDemandFraction, snrDB, efficiency float64) (lte, nr float64, err error) {
+	if nrDemandFraction < 0 || nrDemandFraction > 1 {
+		return 0, 0, fmt.Errorf("spectrum: NR demand fraction %g out of [0,1]", nrDemandFraction)
+	}
+	width := band.UsableContiguousMHz() * (1 - DSSOverhead)
+	nrMHz := width * nrDemandFraction
+	lteMHz := width - nrMHz
+	return Capacity(lteMHz, snrDB, efficiency), Capacity(nrMHz, snrDB, efficiency), nil
+}
+
+// StrategyOutcome summarises one refarming strategy over a demand profile.
+type StrategyOutcome struct {
+	// ServedFraction is the demand-weighted fraction of offered load the
+	// strategy could carry (≤ 1).
+	ServedFraction float64
+	// WorstLTE and WorstNR are the worst per-slot service ratios, the
+	// "who gets hurt" metric of §3's refarming findings.
+	WorstLTE, WorstNR float64
+}
+
+// CompareRefarming evaluates a static split against DSS over a demand
+// profile: per time slot, lteDemand and nrDemand give offered load in Mbps.
+// Returns (static, dynamic). The §7 takeaway emerges naturally: static
+// splits strand capacity when demand is time-varying (4G users suffer when
+// their slice is thin at 4G-heavy hours), while DSS tracks demand but pays
+// its overhead tax even at the peak.
+func CompareRefarming(split StaticSplit, lteDemand, nrDemand []float64, snrDB, efficiency float64) (static, dynamic StrategyOutcome, err error) {
+	if err := split.Validate(); err != nil {
+		return StrategyOutcome{}, StrategyOutcome{}, err
+	}
+	if len(lteDemand) != len(nrDemand) || len(lteDemand) == 0 {
+		return StrategyOutcome{}, StrategyOutcome{}, fmt.Errorf(
+			"spectrum: demand profiles must be equal-length and non-empty (got %d/%d)",
+			len(lteDemand), len(nrDemand))
+	}
+
+	staticLTE, staticNR := split.Capacities(snrDB, efficiency)
+	static = StrategyOutcome{WorstLTE: 1, WorstNR: 1}
+	dynamic = StrategyOutcome{WorstLTE: 1, WorstNR: 1}
+	var offered, staticServed, dynServed float64
+
+	for i := range lteDemand {
+		ld, nd := math.Max(0, lteDemand[i]), math.Max(0, nrDemand[i])
+		total := ld + nd
+		offered += total
+
+		// Static: each technology is confined to its slice.
+		sl := math.Min(ld, staticLTE)
+		sn := math.Min(nd, staticNR)
+		staticServed += sl + sn
+		static.WorstLTE = math.Min(static.WorstLTE, ratio(sl, ld))
+		static.WorstNR = math.Min(static.WorstNR, ratio(sn, nd))
+
+		// Dynamic: the band follows demand, minus the overhead tax.
+		frac := 0.5
+		if total > 0 {
+			frac = nd / total
+		}
+		dl, dn, err := DSSCapacities(split.Band, frac, snrDB, efficiency)
+		if err != nil {
+			return StrategyOutcome{}, StrategyOutcome{}, err
+		}
+		xl := math.Min(ld, dl)
+		xn := math.Min(nd, dn)
+		dynServed += xl + xn
+		dynamic.WorstLTE = math.Min(dynamic.WorstLTE, ratio(xl, ld))
+		dynamic.WorstNR = math.Min(dynamic.WorstNR, ratio(xn, nd))
+	}
+	if offered > 0 {
+		static.ServedFraction = staticServed / offered
+		dynamic.ServedFraction = dynServed / offered
+	} else {
+		static.ServedFraction = 1
+		dynamic.ServedFraction = 1
+	}
+	return static, dynamic, nil
+}
+
+func ratio(served, demand float64) float64 {
+	if demand <= 0 {
+		return 1
+	}
+	return served / demand
+}

@@ -1,0 +1,123 @@
+package spectrum
+
+import (
+	"math"
+	"testing"
+)
+
+func b41(t *testing.T) Band {
+	t.Helper()
+	b, ok := ByName("B41")
+	if !ok {
+		t.Fatal("B41 missing")
+	}
+	return b
+}
+
+func TestStaticSplitValidate(t *testing.T) {
+	if err := (StaticSplit{NRFraction: 1.5}).Validate(); err == nil {
+		t.Error("NR fraction > 1 accepted")
+	}
+	if err := (StaticSplit{NRFraction: 0.5}).Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStaticSplitCapacities(t *testing.T) {
+	split := StaticSplit{Band: b41(t), NRFraction: 0.5}
+	lte, nr := split.Capacities(20, 0.65)
+	if math.Abs(lte-nr) > 1e-9 {
+		t.Errorf("50/50 split should give equal capacity: %g vs %g", lte, nr)
+	}
+	full := Capacity(b41(t).UsableContiguousMHz(), 20, 0.65)
+	if math.Abs(lte+nr-full) > 1e-9 {
+		t.Error("static split leaks capacity")
+	}
+}
+
+func TestDSSCapacities(t *testing.T) {
+	lte, nr, err := DSSCapacities(b41(t), 0.5, 20, 0.65)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := Capacity(b41(t).UsableContiguousMHz(), 20, 0.65)
+	// The overhead tax must show.
+	if got := (lte + nr) / full; math.Abs(got-(1-DSSOverhead)) > 1e-9 {
+		t.Errorf("DSS total = %.3f of full, want %.3f", got, 1-DSSOverhead)
+	}
+	if _, _, err := DSSCapacities(b41(t), 1.2, 20, 0.65); err == nil {
+		t.Error("demand fraction > 1 accepted")
+	}
+}
+
+// TestCompareRefarmingTimeVaryingDemand is the §7 comparison: with demand
+// that swings between LTE-heavy and NR-heavy slots, DSS serves more load
+// than a static split, but its worst-slot service never escapes the
+// overhead tax.
+func TestCompareRefarmingTimeVaryingDemand(t *testing.T) {
+	band := b41(t)
+	full := Capacity(band.UsableContiguousMHz(), 20, 0.65)
+	// Day: LTE-heavy; evening: NR-heavy. Peaks demand ~80 % of the band.
+	lteDemand := []float64{0.7 * full, 0.6 * full, 0.1 * full, 0.1 * full}
+	nrDemand := []float64{0.1 * full, 0.2 * full, 0.7 * full, 0.7 * full}
+
+	static, dynamic, err := CompareRefarming(
+		StaticSplit{Band: band, NRFraction: 0.5}, lteDemand, nrDemand, 20, 0.65)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dynamic.ServedFraction <= static.ServedFraction {
+		t.Errorf("DSS (%.3f) should beat the static split (%.3f) under swinging demand",
+			dynamic.ServedFraction, static.ServedFraction)
+	}
+	// The static split starves LTE in LTE-heavy slots (§3's refarming harm).
+	if static.WorstLTE > 0.8 {
+		t.Errorf("static worst-LTE service = %.2f, expected visible starvation", static.WorstLTE)
+	}
+	if dynamic.WorstLTE <= static.WorstLTE {
+		t.Error("DSS should improve the worst-slot LTE service")
+	}
+}
+
+// TestCompareRefarmingStableDemand shows the flip side: with steady,
+// well-matched demand the static split wins because it pays no overhead.
+func TestCompareRefarmingStableDemand(t *testing.T) {
+	band := b41(t)
+	full := Capacity(band.UsableContiguousMHz(), 20, 0.65)
+	lteDemand := []float64{0.5 * full, 0.5 * full}
+	nrDemand := []float64{0.5 * full, 0.5 * full}
+	static, dynamic, err := CompareRefarming(
+		StaticSplit{Band: band, NRFraction: 0.5}, lteDemand, nrDemand, 20, 0.65)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if static.ServedFraction <= dynamic.ServedFraction {
+		t.Errorf("static (%.3f) should beat DSS (%.3f) under perfectly matched demand",
+			static.ServedFraction, dynamic.ServedFraction)
+	}
+}
+
+func TestCompareRefarmingValidation(t *testing.T) {
+	band := b41(t)
+	if _, _, err := CompareRefarming(StaticSplit{Band: band, NRFraction: 2}, []float64{1}, []float64{1}, 20, 0.65); err == nil {
+		t.Error("invalid split accepted")
+	}
+	if _, _, err := CompareRefarming(StaticSplit{Band: band, NRFraction: 0.5}, []float64{1, 2}, []float64{1}, 20, 0.65); err == nil {
+		t.Error("mismatched profiles accepted")
+	}
+	if _, _, err := CompareRefarming(StaticSplit{Band: band, NRFraction: 0.5}, nil, nil, 20, 0.65); err == nil {
+		t.Error("empty profiles accepted")
+	}
+}
+
+func TestCompareRefarmingZeroDemand(t *testing.T) {
+	band := b41(t)
+	static, dynamic, err := CompareRefarming(
+		StaticSplit{Band: band, NRFraction: 0.5}, []float64{0}, []float64{0}, 20, 0.65)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if static.ServedFraction != 1 || dynamic.ServedFraction != 1 {
+		t.Error("zero demand should be fully served")
+	}
+}

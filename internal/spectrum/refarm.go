@@ -1,0 +1,135 @@
+package spectrum
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// This file implements the §4 implication — "more effective band
+// defragmentation and refarming strategies" — as a small exact optimiser:
+// given the LTE bands, their current user-load shares, and a target amount
+// of spectrum for 5G, choose which bands to refarm so that 5G gets the most
+// (and the widest contiguous) spectrum while displacing the least LTE load
+// and keeping enough LTE spectrum in service.
+
+// RefarmCandidate is one LTE band considered for refarming.
+type RefarmCandidate struct {
+	Band Band
+	// LoadShare is the fraction of current LTE traffic served by this band
+	// (Figure 6). Refarming a band displaces its load onto the survivors.
+	LoadShare float64
+}
+
+// RefarmPlan is the optimiser's output.
+type RefarmPlan struct {
+	// Refarmed lists the chosen bands' names.
+	Refarmed []string
+	// TotalNRMHz is the total spectrum handed to 5G.
+	TotalNRMHz float64
+	// WidestNRMHz is the widest single contiguous slice handed to 5G — the
+	// quantity that actually determines 5G channel bandwidth (§3.3: N41's
+	// 100 MHz vs N1's 60 MHz).
+	WidestNRMHz float64
+	// RemainingLTEMHz is the spectrum left serving LTE users.
+	RemainingLTEMHz float64
+	// DisplacedLoad is the fraction of LTE traffic whose band was taken.
+	DisplacedLoad float64
+}
+
+// PlanRefarming chooses the subset of candidate bands to refarm. The
+// optimiser is exact (exhaustive over subsets; there are only nine LTE
+// bands). Feasibility: at least lteFloorMHz of spectrum and at most
+// maxDisplacedLoad of current traffic displaced. Among feasible subsets it
+// maximises the widest contiguous NR slice, then total NR spectrum, then
+// minimises displaced load.
+//
+// Applied to the paper's Table 1/Figure 6 state, the planner reproduces the
+// regulator's actual choice — refarm B41 (wide, moderate load) and spare B3
+// (the 55 %-load workhorse) — and quantifies why refarming B1 hurt.
+func PlanRefarming(cands []RefarmCandidate, lteFloorMHz, maxDisplacedLoad float64) (RefarmPlan, error) {
+	if len(cands) == 0 {
+		return RefarmPlan{}, fmt.Errorf("spectrum: no refarm candidates")
+	}
+	if len(cands) > 20 {
+		return RefarmPlan{}, fmt.Errorf("spectrum: %d candidates exceed the exhaustive-search bound", len(cands))
+	}
+	if maxDisplacedLoad <= 0 {
+		maxDisplacedLoad = 0.30
+	}
+	var totalMHz float64
+	for _, c := range cands {
+		totalMHz += c.Band.DLWidthMHz()
+	}
+	if totalMHz < lteFloorMHz {
+		return RefarmPlan{}, fmt.Errorf("spectrum: candidates hold %.0f MHz, below the %.0f MHz LTE floor",
+			totalMHz, lteFloorMHz)
+	}
+
+	best := RefarmPlan{RemainingLTEMHz: totalMHz}
+	found := false
+	n := len(cands)
+	for mask := 1; mask < 1<<n; mask++ {
+		var nrMHz, widest, displaced float64
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) == 0 {
+				continue
+			}
+			w := cands[i].Band.DLWidthMHz()
+			nrMHz += w
+			widest = math.Max(widest, w)
+			displaced += cands[i].LoadShare
+		}
+		remaining := totalMHz - nrMHz
+		if remaining < lteFloorMHz || displaced > maxDisplacedLoad {
+			continue
+		}
+		better := false
+		switch {
+		case !found:
+			better = true
+		case widest > best.WidestNRMHz:
+			better = true
+		case widest == best.WidestNRMHz && nrMHz > best.TotalNRMHz:
+			better = true
+		case widest == best.WidestNRMHz && nrMHz == best.TotalNRMHz && displaced < best.DisplacedLoad:
+			better = true
+		}
+		if !better {
+			continue
+		}
+		found = true
+		best = RefarmPlan{
+			TotalNRMHz:      nrMHz,
+			WidestNRMHz:     widest,
+			RemainingLTEMHz: remaining,
+			DisplacedLoad:   displaced,
+		}
+		best.Refarmed = best.Refarmed[:0]
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				best.Refarmed = append(best.Refarmed, cands[i].Band.Name)
+			}
+		}
+	}
+	if !found {
+		return RefarmPlan{}, fmt.Errorf("spectrum: no subset satisfies floor %.0f MHz and displaced load ≤ %.0f%%",
+			lteFloorMHz, maxDisplacedLoad*100)
+	}
+	sort.Strings(best.Refarmed)
+	return best, nil
+}
+
+// StudyRefarmCandidates builds the candidate set from the study's state:
+// Table 1's bands with Figure 6's load shares.
+func StudyRefarmCandidates() []RefarmCandidate {
+	loads := map[string]float64{
+		"B3": 0.55, "B41": 0.12, "B1": 0.09, "B8": 0.06, "B40": 0.06,
+		"B39": 0.047, "B5": 0.045, "B34": 0.028, "B28": 0.0,
+	}
+	var out []RefarmCandidate
+	for _, b := range LTEBands() {
+		out = append(out, RefarmCandidate{Band: b, LoadShare: loads[b.Name]})
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+package spectrum
+
+import (
+	"slices"
+	"testing"
+)
+
+func TestPlanRefarmingValidation(t *testing.T) {
+	if _, err := PlanRefarming(nil, 100, 0.3); err == nil {
+		t.Error("empty candidates accepted")
+	}
+	cands := StudyRefarmCandidates()
+	if _, err := PlanRefarming(cands, 1e6, 0.3); err == nil {
+		t.Error("impossible LTE floor accepted")
+	}
+	loaded := []RefarmCandidate{
+		{Band: Band{Name: "Y1", DLLowMHz: 0, DLHighMHz: 50}, LoadShare: 0.5},
+		{Band: Band{Name: "Y2", DLLowMHz: 100, DLHighMHz: 150}, LoadShare: 0.5},
+	}
+	if _, err := PlanRefarming(loaded, 50, 0.1); err == nil {
+		t.Error("impossible displaced-load bound accepted")
+	}
+	big := make([]RefarmCandidate, 25)
+	for i := range big {
+		big[i] = cands[0]
+	}
+	if _, err := PlanRefarming(big, 10, 0.3); err == nil {
+		t.Error("oversized candidate set accepted")
+	}
+}
+
+// TestPlannerSparesTheWorkhorse mirrors the real regulator's choice: with
+// the study's loads, the widest refarmable slice is B41 (194 MHz), and the
+// 55 %-load Band 3 must never be taken.
+func TestPlannerSparesTheWorkhorse(t *testing.T) {
+	plan, err := PlanRefarming(StudyRefarmCandidates(), 250, 0.30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slices.Contains(plan.Refarmed, "B3") {
+		t.Errorf("planner refarmed the 55%%-load workhorse B3: %v", plan.Refarmed)
+	}
+	if !slices.Contains(plan.Refarmed, "B41") {
+		t.Errorf("planner skipped B41, the widest candidate: %v", plan.Refarmed)
+	}
+	if plan.WidestNRMHz != 194 {
+		t.Errorf("widest NR slice = %.0f MHz, want B41's 194", plan.WidestNRMHz)
+	}
+	if plan.DisplacedLoad > 0.30 {
+		t.Errorf("displaced load %.2f exceeds the bound", plan.DisplacedLoad)
+	}
+	if plan.RemainingLTEMHz < 250 {
+		t.Errorf("LTE floor violated: %.0f MHz remain", plan.RemainingLTEMHz)
+	}
+}
+
+// TestPlannerQuantifiesTheActualRefarming evaluates the regulator's actual
+// 2021 choice (B1 + B28 + B41): the planner shows a strictly better
+// alternative existed at the same displaced load — more total NR spectrum
+// without touching the thin B1.
+func TestPlannerQuantifiesTheActualRefarming(t *testing.T) {
+	cands := StudyRefarmCandidates()
+	var actualNR, actualDisplaced float64
+	for _, c := range cands {
+		switch c.Band.Name {
+		case "B1", "B28", "B41":
+			actualNR += c.Band.DLWidthMHz()
+			actualDisplaced += c.LoadShare
+		}
+	}
+	plan, err := PlanRefarming(cands, 250, actualDisplaced+1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.WidestNRMHz < 194 {
+		t.Errorf("optimal widest = %.0f, should at least keep B41", plan.WidestNRMHz)
+	}
+	if plan.TotalNRMHz < actualNR {
+		t.Errorf("planner NR total %.0f MHz below the actual refarming's %.0f — optimiser broken",
+			plan.TotalNRMHz, actualNR)
+	}
+	t.Logf("actual 2021 refarming: %.0f MHz NR, %.1f%% load displaced; planner: %v → %.0f MHz NR, %.1f%%",
+		actualNR, actualDisplaced*100, plan.Refarmed, plan.TotalNRMHz, plan.DisplacedLoad*100)
+}
+
+func TestPlannerTieBreaksOnLoad(t *testing.T) {
+	// Two identical-width bands with different loads: the low-load one wins.
+	a := Band{Name: "X1", Gen: LTE, DLLowMHz: 1000, DLHighMHz: 1020, MaxChannelMHz: 20}
+	b := Band{Name: "X2", Gen: LTE, DLLowMHz: 2000, DLHighMHz: 2020, MaxChannelMHz: 20}
+	plan, err := PlanRefarming([]RefarmCandidate{
+		{Band: a, LoadShare: 0.25},
+		{Band: b, LoadShare: 0.05},
+	}, 20, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Refarmed) != 1 || plan.Refarmed[0] != "X2" {
+		t.Errorf("planner chose %v, want the low-load X2", plan.Refarmed)
+	}
+}

@@ -1,0 +1,318 @@
+// Package spectrum models the radio-spectrum layer of the study (§3.2, §3.3,
+// §4): the nine LTE bands and five 5G NR bands observed in the measurement
+// (Tables 1 and 2), the early-2021 refarming of LTE Bands 1/28/41 into NR
+// N1/N28/N41, a Shannon-style capacity model linking channel bandwidth and
+// SNR to achievable access bandwidth, and fragmentation metrics that quantify
+// why thin refarmed spectrum yields low 5G bandwidth.
+package spectrum
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ISP identifies one of the four major Chinese mobile ISPs in the study,
+// anonymised exactly as in the paper.
+type ISP int
+
+// The four ISPs of §3.1. ISP-4 is the newly founded 5G-first carrier on the
+// 700 MHz band.
+const (
+	ISP1 ISP = 1 + iota
+	ISP2
+	ISP3
+	ISP4
+)
+
+// String implements fmt.Stringer ("ISP-1" … "ISP-4").
+func (i ISP) String() string { return fmt.Sprintf("ISP-%d", int(i)) }
+
+// Generation distinguishes LTE (4G) from NR (5G) bands.
+type Generation int
+
+const (
+	LTE Generation = iota
+	NR
+)
+
+func (g Generation) String() string {
+	if g == LTE {
+		return "LTE"
+	}
+	return "NR"
+}
+
+// Band describes one cellular frequency band as observed in the study.
+type Band struct {
+	Name          string     // 3GPP name, e.g. "B3" or "N78"
+	Gen           Generation // LTE or NR
+	DLLowMHz      float64    // downlink spectrum lower edge (MHz)
+	DLHighMHz     float64    // downlink spectrum upper edge (MHz)
+	MaxChannelMHz float64    // maximum supported channel bandwidth (MHz)
+	ISPs          []ISP      // operators multiplexing the band
+
+	// RefarmedFrom names the LTE band an NR band was refarmed from
+	// (empty for dedicated NR bands and for LTE bands).
+	RefarmedFrom string
+	// ContiguousRefarmedMHz is the width of the contiguous spectrum slice
+	// actually refarmed into this NR band (§3.3: 100 MHz for N41, 60 MHz
+	// for N1, 45 MHz for N28). Zero for dedicated bands, whose usable
+	// contiguous width equals MaxChannelMHz.
+	ContiguousRefarmedMHz float64
+
+	// SpecialUse records deployment peculiarities the paper calls out
+	// (e.g. Band 39 serves sparse rural areas; Band 40 penetrates indoor
+	// environments), which decouple spectrum from observed bandwidth.
+	SpecialUse string
+}
+
+// DLWidthMHz reports the total downlink spectrum width of the band.
+func (b Band) DLWidthMHz() float64 { return b.DLHighMHz - b.DLLowMHz }
+
+// IsHBand reports whether an LTE band is a high-bandwidth band (H-Band),
+// defined in §3.2 as supporting the 20 MHz maximum channel bandwidth needed
+// to realise LTE's theoretical limit. It is false for NR bands.
+func (b Band) IsHBand() bool { return b.Gen == LTE && b.MaxChannelMHz >= 20 }
+
+// IsRefarmed reports whether an NR band was refarmed from LTE spectrum.
+func (b Band) IsRefarmed() bool { return b.RefarmedFrom != "" }
+
+// UsableContiguousMHz reports the contiguous spectrum width available to the
+// band's radio access: the refarmed slice for refarmed NR bands, otherwise
+// the band's maximum channel bandwidth.
+func (b Band) UsableContiguousMHz() float64 {
+	if b.IsRefarmed() && b.ContiguousRefarmedMHz > 0 {
+		return b.ContiguousRefarmedMHz
+	}
+	return b.MaxChannelMHz
+}
+
+// ServedBy reports whether isp operates on the band.
+func (b Band) ServedBy(isp ISP) bool {
+	for _, i := range b.ISPs {
+		if i == isp {
+			return true
+		}
+	}
+	return false
+}
+
+// LTEBands reproduces Table 1: the nine LTE bands involved in the study,
+// ordered by downlink spectrum.
+func LTEBands() []Band {
+	return []Band{
+		{Name: "B28", Gen: LTE, DLLowMHz: 758, DLHighMHz: 803, MaxChannelMHz: 20, ISPs: []ISP{ISP4}},
+		{Name: "B5", Gen: LTE, DLLowMHz: 869, DLHighMHz: 894, MaxChannelMHz: 10, ISPs: []ISP{ISP3}},
+		{Name: "B8", Gen: LTE, DLLowMHz: 925, DLHighMHz: 960, MaxChannelMHz: 10, ISPs: []ISP{ISP1, ISP2}},
+		{Name: "B3", Gen: LTE, DLLowMHz: 1805, DLHighMHz: 1880, MaxChannelMHz: 20, ISPs: []ISP{ISP1, ISP2, ISP3}},
+		{Name: "B39", Gen: LTE, DLLowMHz: 1880, DLHighMHz: 1920, MaxChannelMHz: 20, ISPs: []ISP{ISP1}, SpecialUse: "rural coverage with sparse eNodeBs"},
+		{Name: "B34", Gen: LTE, DLLowMHz: 2010, DLHighMHz: 2025, MaxChannelMHz: 15, ISPs: []ISP{ISP1}},
+		{Name: "B1", Gen: LTE, DLLowMHz: 2110, DLHighMHz: 2170, MaxChannelMHz: 20, ISPs: []ISP{ISP2, ISP3}},
+		{Name: "B40", Gen: LTE, DLLowMHz: 2300, DLHighMHz: 2400, MaxChannelMHz: 20, ISPs: []ISP{ISP1}, SpecialUse: "indoor penetration with dense eNodeBs"},
+		{Name: "B41", Gen: LTE, DLLowMHz: 2496, DLHighMHz: 2690, MaxChannelMHz: 20, ISPs: []ISP{ISP1}},
+	}
+}
+
+// NRBands reproduces Table 2: the five 5G bands involved in the study,
+// ordered by downlink spectrum, annotated with the refarming facts of §3.3.
+func NRBands() []Band {
+	return []Band{
+		{Name: "N28", Gen: NR, DLLowMHz: 758, DLHighMHz: 803, MaxChannelMHz: 20, ISPs: []ISP{ISP4},
+			RefarmedFrom: "B28", ContiguousRefarmedMHz: 45},
+		{Name: "N1", Gen: NR, DLLowMHz: 2110, DLHighMHz: 2170, MaxChannelMHz: 20, ISPs: []ISP{ISP2, ISP3},
+			RefarmedFrom: "B1", ContiguousRefarmedMHz: 60},
+		{Name: "N41", Gen: NR, DLLowMHz: 2496, DLHighMHz: 2690, MaxChannelMHz: 100, ISPs: []ISP{ISP1},
+			RefarmedFrom: "B41", ContiguousRefarmedMHz: 100},
+		{Name: "N78", Gen: NR, DLLowMHz: 3300, DLHighMHz: 3800, MaxChannelMHz: 100, ISPs: []ISP{ISP2, ISP3}},
+		{Name: "N79", Gen: NR, DLLowMHz: 4400, DLHighMHz: 5000, MaxChannelMHz: 100, ISPs: []ISP{ISP1, ISP4},
+			SpecialUse: "under test deployment (3 tests in the study)"},
+	}
+}
+
+// ByName returns the band with the given name from either table, and whether
+// it exists.
+func ByName(name string) (Band, bool) {
+	for _, b := range LTEBands() {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	for _, b := range NRBands() {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return Band{}, false
+}
+
+// HBandSpectrumMHz reports the total downlink spectrum of LTE H-Bands.
+func HBandSpectrumMHz() float64 {
+	var total float64
+	for _, b := range LTEBands() {
+		if b.IsHBand() {
+			total += b.DLWidthMHz()
+		}
+	}
+	return total
+}
+
+// RefarmedHBandFraction reports the fraction of LTE H-Band spectrum occupied
+// by the refarmed bands (B1, B28, B41). The paper reports 58.2 % (§1, §3.2).
+func RefarmedHBandFraction() float64 {
+	refarmed := map[string]bool{}
+	for _, n := range NRBands() {
+		if n.IsRefarmed() {
+			refarmed[n.RefarmedFrom] = true
+		}
+	}
+	var part float64
+	for _, b := range LTEBands() {
+		if b.IsHBand() && refarmed[b.Name] {
+			part += b.DLWidthMHz()
+		}
+	}
+	total := HBandSpectrumMHz()
+	if total == 0 {
+		return 0
+	}
+	return part / total
+}
+
+// Capacity models achievable access bandwidth from channel width and SNR via
+// the Shannon–Hartley theorem with an implementation-efficiency factor:
+//
+//	C = eff · W · log2(1 + SNR)
+//
+// W in MHz, SNR linear, result in Mbps. eff ≈ 0.6–0.75 captures coding and
+// protocol overheads of deployed LTE/NR systems.
+func Capacity(channelMHz, snrDB, efficiency float64) float64 {
+	if channelMHz <= 0 {
+		return 0
+	}
+	snr := math.Pow(10, snrDB/10)
+	return efficiency * channelMHz * math.Log2(1+snr)
+}
+
+// PathLossDB approximates free-space-dominated propagation loss in dB for a
+// carrier at freqMHz over distanceKm, used to derive why low bands cover
+// better: loss grows with log of both frequency and distance.
+func PathLossDB(freqMHz, distanceKm float64) float64 {
+	if freqMHz <= 0 || distanceKm <= 0 {
+		return 0
+	}
+	return 20*math.Log10(freqMHz) + 20*math.Log10(distanceKm) + 32.45
+}
+
+// Fragment is one contiguous allocated slice of spectrum within a band,
+// used by the fragmentation analysis of §4.
+type Fragment struct {
+	LowMHz, HighMHz float64
+	Owner           string // service occupying the slice, e.g. "LTE/ISP-1"
+}
+
+// Width reports the fragment width in MHz.
+func (f Fragment) Width() float64 { return f.HighMHz - f.LowMHz }
+
+// FragmentationReport summarises how fragmented a band's allocation is.
+type FragmentationReport struct {
+	TotalMHz         float64 // width of the whole band
+	AllocatedMHz     float64 // width covered by fragments
+	LargestFreeMHz   float64 // widest contiguous unallocated gap
+	Fragments        int     // number of allocated fragments
+	GuardWasteMHz    float64 // spectrum lost to guard gaps between fragments
+	RefarmableFor5G  bool    // whether the largest free gap fits need5GMHz
+	FragmentationIdx float64 // 1 − largestFree/totalFree (0 = one big gap)
+}
+
+// AnalyzeFragmentation computes a fragmentation report for a band whose
+// allocations are the given fragments. need5GMHz is the contiguous width 5G
+// requires (§4: "5G usually requires nearly 100 MHz contiguous spectrum").
+// guardMHz is the spacing required between adjacent fragments.
+func AnalyzeFragmentation(band Band, frags []Fragment, need5GMHz, guardMHz float64) FragmentationReport {
+	sorted := append([]Fragment(nil), frags...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].LowMHz < sorted[j].LowMHz })
+
+	rep := FragmentationReport{TotalMHz: band.DLWidthMHz(), Fragments: len(sorted)}
+	var totalFree float64
+	cursor := band.DLLowMHz
+	for i, f := range sorted {
+		gap := f.LowMHz - cursor
+		if gap > 0 {
+			totalFree += gap
+			if gap > rep.LargestFreeMHz {
+				rep.LargestFreeMHz = gap
+			}
+		}
+		rep.AllocatedMHz += f.Width()
+		if i > 0 {
+			rep.GuardWasteMHz += math.Min(guardMHz, math.Max(0, f.LowMHz-sorted[i-1].HighMHz))
+		}
+		if f.HighMHz > cursor {
+			cursor = f.HighMHz
+		}
+	}
+	if tail := band.DLHighMHz - cursor; tail > 0 {
+		totalFree += tail
+		if tail > rep.LargestFreeMHz {
+			rep.LargestFreeMHz = tail
+		}
+	}
+	rep.RefarmableFor5G = rep.LargestFreeMHz >= need5GMHz
+	if totalFree > 0 {
+		rep.FragmentationIdx = 1 - rep.LargestFreeMHz/totalFree
+	}
+	return rep
+}
+
+// Defragment simulates the band-defragmentation strategy advocated in §4: it
+// repacks the given fragments contiguously from the band's lower edge
+// (respecting guard spacing between different owners) and returns the new
+// fragment layout plus the resulting report. This models dynamic spectrum
+// allocation freeing a maximal contiguous slice for refarming.
+func Defragment(band Band, frags []Fragment, need5GMHz, guardMHz float64) ([]Fragment, FragmentationReport) {
+	sorted := append([]Fragment(nil), frags...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Width() > sorted[j].Width() })
+	out := make([]Fragment, 0, len(sorted))
+	cursor := band.DLLowMHz
+	for i, f := range sorted {
+		if i > 0 {
+			cursor += guardMHz
+		}
+		nf := Fragment{LowMHz: cursor, HighMHz: cursor + f.Width(), Owner: f.Owner}
+		out = append(out, nf)
+		cursor = nf.HighMHz
+	}
+	return out, AnalyzeFragmentation(band, out, need5GMHz, guardMHz)
+}
+
+// CarrierAggregation models LTE-Advanced's headline feature (§3.2, §4):
+// combining up to maxCarriers non-contiguous channels into one logical
+// channel. It returns the aggregate channel width achievable from the given
+// per-fragment free widths.
+func CarrierAggregation(freeWidthsMHz []float64, maxCarriers int, perCarrierCapMHz float64) float64 {
+	ws := append([]float64(nil), freeWidthsMHz...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(ws)))
+	var agg float64
+	for i, w := range ws {
+		if i >= maxCarriers {
+			break
+		}
+		agg += math.Min(w, perCarrierCapMHz)
+	}
+	return agg
+}
+
+// LTEAdvancedPeak models the LTE-Advanced deployments of §3.2: carrier
+// aggregation of up to maxCarriers 20 MHz component carriers across the
+// operator's fragmented bands, combined with a MIMO/256-QAM gain factor.
+// With 5 carriers, 4×4 MIMO and high-order modulation this reaches the
+// technology's ≈2 Gbps headline; the paper's field peak of 813 Mbps
+// corresponds to ≈3 aggregated carriers at good (but not lab) SNR.
+func LTEAdvancedPeak(freeWidthsMHz []float64, maxCarriers int, snrDB, efficiency, mimoGain float64) float64 {
+	if mimoGain <= 0 {
+		mimoGain = 1
+	}
+	agg := CarrierAggregation(freeWidthsMHz, maxCarriers, 20)
+	return Capacity(agg, snrDB, efficiency) * mimoGain
+}

@@ -1,0 +1,119 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+)
+
+// StreamingQuantile estimates a single quantile of an unbounded stream in
+// O(1) memory using the P² algorithm (Jain & Chlamtac, 1985). The deployment
+// side uses it to track tail utilization (e.g. the P99 of Figure 26) on live
+// servers without retaining per-minute samples.
+type StreamingQuantile struct {
+	q       float64    // target quantile
+	n       int        // observations seen
+	heights [5]float64 // marker heights
+	pos     [5]float64 // marker positions
+	want    [5]float64 // desired positions
+	incr    [5]float64 // desired-position increments
+	initial []float64  // first five observations
+}
+
+// NewStreamingQuantile returns an estimator for quantile q ∈ (0, 1).
+func NewStreamingQuantile(q float64) (*StreamingQuantile, error) {
+	if q <= 0 || q >= 1 {
+		return nil, fmt.Errorf("stats: quantile %g out of (0,1)", q)
+	}
+	return &StreamingQuantile{
+		q:    q,
+		want: [5]float64{1, 1 + 2*q, 1 + 4*q, 3 + 2*q, 5},
+		incr: [5]float64{0, q / 2, q, (1 + q) / 2, 1},
+	}, nil
+}
+
+// N reports the number of observations added.
+func (s *StreamingQuantile) N() int { return s.n }
+
+// Add incorporates one observation.
+func (s *StreamingQuantile) Add(x float64) {
+	s.n++
+	if len(s.initial) < 5 {
+		s.initial = append(s.initial, x)
+		if len(s.initial) == 5 {
+			sort.Float64s(s.initial)
+			copy(s.heights[:], s.initial)
+			s.pos = [5]float64{1, 2, 3, 4, 5}
+		}
+		return
+	}
+
+	// Locate the cell containing x and adjust extreme markers.
+	var k int
+	switch {
+	case x < s.heights[0]:
+		s.heights[0] = x
+		k = 0
+	case x >= s.heights[4]:
+		s.heights[4] = x
+		k = 3
+	default:
+		for k = 0; k < 4; k++ {
+			if x < s.heights[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		s.pos[i]++
+	}
+	for i := range s.want {
+		s.want[i] += s.incr[i]
+	}
+
+	// Adjust interior markers toward their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := s.want[i] - s.pos[i]
+		if (d >= 1 && s.pos[i+1]-s.pos[i] > 1) || (d <= -1 && s.pos[i-1]-s.pos[i] < -1) {
+			sign := 1.0
+			if d < 0 {
+				sign = -1
+			}
+			h := s.parabolic(i, sign)
+			if s.heights[i-1] < h && h < s.heights[i+1] {
+				s.heights[i] = h
+			} else {
+				s.heights[i] = s.linear(i, sign)
+			}
+			s.pos[i] += sign
+		}
+	}
+}
+
+func (s *StreamingQuantile) parabolic(i int, d float64) float64 {
+	return s.heights[i] + d/(s.pos[i+1]-s.pos[i-1])*
+		((s.pos[i]-s.pos[i-1]+d)*(s.heights[i+1]-s.heights[i])/(s.pos[i+1]-s.pos[i])+
+			(s.pos[i+1]-s.pos[i]-d)*(s.heights[i]-s.heights[i-1])/(s.pos[i]-s.pos[i-1]))
+}
+
+func (s *StreamingQuantile) linear(i int, d float64) float64 {
+	j := i + int(d)
+	return s.heights[i] + d*(s.heights[j]-s.heights[i])/(s.pos[j]-s.pos[i])
+}
+
+// Value reports the current quantile estimate. With fewer than five
+// observations it falls back to the exact small-sample quantile.
+func (s *StreamingQuantile) Value() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	if len(s.initial) < 5 {
+		sorted := append([]float64(nil), s.initial...)
+		sort.Float64s(sorted)
+		idx := int(s.q * float64(len(sorted)))
+		if idx >= len(sorted) {
+			idx = len(sorted) - 1
+		}
+		return sorted[idx]
+	}
+	return s.heights[2]
+}

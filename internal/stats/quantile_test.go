@@ -1,0 +1,85 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestStreamingQuantileValidation(t *testing.T) {
+	for _, q := range []float64{0, 1, -0.5, 1.5} {
+		if _, err := NewStreamingQuantile(q); err == nil {
+			t.Errorf("q=%g accepted", q)
+		}
+	}
+}
+
+func TestStreamingQuantileSmallSamples(t *testing.T) {
+	s, err := NewStreamingQuantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Value() != 0 || s.N() != 0 {
+		t.Error("empty estimator not zero")
+	}
+	s.Add(10)
+	s.Add(2)
+	s.Add(6)
+	if got := s.Value(); got != 6 {
+		t.Errorf("small-sample median = %g, want 6", got)
+	}
+}
+
+func TestStreamingQuantileUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		s, err := NewStreamingQuantile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact := &Sample{}
+		for i := 0; i < 50000; i++ {
+			x := rng.Float64() * 1000
+			s.Add(x)
+			exact.Add(x)
+		}
+		got := s.Value()
+		want := exact.Quantile(q)
+		if math.Abs(got-want) > 25 { // 2.5 % of the range
+			t.Errorf("q=%g: P² = %.1f, exact = %.1f", q, got, want)
+		}
+	}
+}
+
+func TestStreamingQuantileSkewed(t *testing.T) {
+	// Heavy-tailed utilization-like data: mostly small with rare spikes,
+	// the Figure 26 shape the estimator exists for.
+	rng := rand.New(rand.NewSource(2))
+	s, err := NewStreamingQuantile(0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := &Sample{}
+	for i := 0; i < 100000; i++ {
+		x := rng.ExpFloat64() * 4
+		if rng.Float64() < 0.01 {
+			x += 40 + rng.Float64()*60
+		}
+		s.Add(x)
+		exact.Add(x)
+	}
+	got, want := s.Value(), exact.Quantile(0.99)
+	if math.Abs(got-want)/want > 0.25 {
+		t.Errorf("skewed P99: P² = %.1f, exact = %.1f", got, want)
+	}
+}
+
+func TestStreamingQuantileMonotoneInput(t *testing.T) {
+	s, _ := NewStreamingQuantile(0.5)
+	for i := 1; i <= 10001; i++ {
+		s.Add(float64(i))
+	}
+	if got := s.Value(); math.Abs(got-5000) > 500 {
+		t.Errorf("median of 1..10001 = %.0f, want ≈5001", got)
+	}
+}

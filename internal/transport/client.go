@@ -1,0 +1,384 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/mobilebandwidth/swiftest/internal/wire"
+)
+
+// PingServer measures the round-trip latency to one server with count pings
+// and returns the minimum RTT observed, the standard BTS server-selection
+// metric (§2). It returns an error if no pong arrives within timeout.
+func PingServer(addr string, count int, timeout time.Duration) (time.Duration, error) {
+	if count <= 0 {
+		count = 3
+	}
+	raddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return 0, fmt.Errorf("transport: resolving %q: %w", addr, err)
+	}
+	conn, err := net.DialUDP("udp", nil, raddr)
+	if err != nil {
+		return 0, fmt.Errorf("transport: dialing %q: %w", addr, err)
+	}
+	defer conn.Close()
+
+	best := time.Duration(-1)
+	buf := make([]byte, 256)
+	out := make([]byte, 0, wire.PingLen)
+	for i := 0; i < count; i++ {
+		seq := uint32(i + 1)
+		ping := wire.Ping{Seq: seq, SentNS: uint64(time.Now().UnixNano())}
+		out = ping.AppendTo(out[:0])
+		if _, err := conn.Write(out); err != nil {
+			return 0, fmt.Errorf("transport: sending ping: %w", err)
+		}
+		if err := conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+			return 0, err
+		}
+		for {
+			n, err := conn.Read(buf)
+			if err != nil {
+				break // timeout: try the next ping
+			}
+			var pong wire.Pong
+			if pong.Decode(buf[:n]) != nil || pong.Seq != seq {
+				continue // stale or foreign datagram
+			}
+			rtt := time.Duration(uint64(time.Now().UnixNano()) - pong.EchoNS)
+			if best < 0 || rtt < best {
+				best = rtt
+			}
+			break
+		}
+	}
+	if best < 0 {
+		return 0, fmt.Errorf("transport: no pong from %s within %v", addr, timeout)
+	}
+	return best, nil
+}
+
+// ServerPool is the client's view of the deployed test servers: addresses
+// with their advertised uplink capacities (§5.1 selects a server set whose
+// total uplink slightly exceeds the probing rate).
+type ServerPool struct {
+	Servers []PoolServer
+}
+
+// PoolServer is one test server in the pool.
+type PoolServer struct {
+	Addr       string
+	UplinkMbps float64
+	// RTT is filled by RankByLatency.
+	RTT time.Duration
+}
+
+// RankByLatency pings every server and sorts the pool by ascending RTT,
+// dropping unreachable servers. It returns an error if no server responded.
+func (p *ServerPool) RankByLatency(pingCount int, timeout time.Duration) error {
+	reachable := p.Servers[:0]
+	for _, srv := range p.Servers {
+		rtt, err := PingServer(srv.Addr, pingCount, timeout)
+		if err != nil {
+			continue
+		}
+		srv.RTT = rtt
+		reachable = append(reachable, srv)
+	}
+	p.Servers = reachable
+	if len(p.Servers) == 0 {
+		return errors.New("transport: no reachable test server")
+	}
+	sort.Slice(p.Servers, func(i, j int) bool { return p.Servers[i].RTT < p.Servers[j].RTT })
+	return nil
+}
+
+// serversFor picks the nearest servers whose total uplink covers rateMbps
+// with a little headroom (§5.1). It never returns an empty set while the
+// pool is non-empty.
+func (p *ServerPool) serversFor(rateMbps float64) []PoolServer {
+	const headroom = 1.05
+	var out []PoolServer
+	var total float64
+	for _, srv := range p.Servers {
+		out = append(out, srv)
+		total += srv.UplinkMbps
+		if total >= rateMbps*headroom {
+			break
+		}
+	}
+	return out
+}
+
+// UDPProbe implements core.Probe over real UDP sockets against a pool of
+// test servers. It opens one session per server as the requested probing
+// rate grows, splitting the rate across sessions in latency order.
+type UDPProbe struct {
+	pool    *ServerPool
+	testID  uint64
+	started time.Time
+
+	mu       sync.Mutex
+	sessions []*clientSession
+
+	rateSeq     atomic.Uint32
+	rxBytes     atomic.Int64
+	lastSample  time.Time
+	lastRxBytes int64
+
+	// jitterNs is the RFC 3550-style interarrival jitter estimate in
+	// nanoseconds, stored as float64 bits for lock-free updates.
+	jitterNs    atomic.Uint64
+	lastTransit atomic.Int64 // previous packet's transit time (ns)
+
+	sampleInterval time.Duration
+	closed         atomic.Bool
+}
+
+type clientSession struct {
+	conn   *net.UDPConn
+	server PoolServer
+	probe  *UDPProbe
+	done   chan struct{}
+}
+
+// SampleInterval is the client's sampling period, matching §5.1's 50 ms.
+const SampleInterval = 50 * time.Millisecond
+
+// NewUDPProbe prepares a probe against the ranked pool. The probe is idle
+// until the first SetRate.
+func NewUDPProbe(pool *ServerPool, rng *rand.Rand) (*UDPProbe, error) {
+	if len(pool.Servers) == 0 {
+		return nil, errors.New("transport: empty server pool")
+	}
+	now := time.Now()
+	return &UDPProbe{
+		pool:           pool,
+		testID:         rng.Uint64(),
+		started:        now,
+		lastSample:     now,
+		sampleInterval: SampleInterval,
+	}, nil
+}
+
+// SetRate implements core.Probe: it sizes the server set for mbps and
+// distributes the rate across sessions in latency order.
+//
+// Mid-test failures degrade gracefully rather than aborting the test: if an
+// additional server cannot be opened the rate is spread over the sessions
+// that exist, and datagram send errors are tolerated like any other UDP loss
+// (§5.1: servers are added "if necessary" — when none is available, the test
+// continues with what it has and the samples tell the truth). Only a closed
+// probe or an invalid rate is an error. The first SetRate is the exception:
+// with no session at all the test cannot start, so total session failure is
+// reported.
+func (p *UDPProbe) SetRate(mbps float64) error {
+	if mbps < 0 {
+		return fmt.Errorf("transport: negative probing rate %g", mbps)
+	}
+	if p.closed.Load() {
+		return errors.New("transport: probe closed")
+	}
+	targets := p.pool.serversFor(mbps)
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	// Open sessions for any newly needed servers; failures shrink the
+	// target set instead of failing the test.
+	for len(p.sessions) < len(targets) {
+		sess, err := p.openSession(targets[len(p.sessions)])
+		if err != nil {
+			targets = targets[:len(p.sessions)]
+			break
+		}
+		p.sessions = append(p.sessions, sess)
+	}
+	if len(p.sessions) == 0 {
+		return errors.New("transport: no test server accepted the session")
+	}
+	// Split the rate: each server takes up to its uplink, nearest first.
+	remaining := mbps
+	seq := p.rateSeq.Add(1)
+	for i, sess := range p.sessions {
+		share := 0.0
+		if i < len(targets) {
+			share = remaining
+			if share > sess.server.UplinkMbps {
+				share = sess.server.UplinkMbps
+			}
+			remaining -= share
+		}
+		rs := wire.RateSet{TestID: p.testID, RateKbps: wire.KbpsFromMbps(share), Seq: seq}
+		buf := rs.AppendTo(make([]byte, 0, wire.RateSetLen))
+		// Send twice: RateSet is idempotent; send errors are UDP loss.
+		for j := 0; j < 2; j++ {
+			_, _ = sess.conn.Write(buf)
+		}
+	}
+	return nil
+}
+
+// openSession dials one server, performs the TestRequest/TestAccept
+// handshake, and starts the receive loop. Callers hold p.mu.
+func (p *UDPProbe) openSession(server PoolServer) (*clientSession, error) {
+	raddr, err := net.ResolveUDPAddr("udp", server.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: resolving %q: %w", server.Addr, err)
+	}
+	conn, err := net.DialUDP("udp", nil, raddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dialing %q: %w", server.Addr, err)
+	}
+	if err := conn.SetReadBuffer(4 << 20); err != nil {
+		// Non-fatal: the default buffer just loses more under burst.
+		_ = err
+	}
+
+	req := wire.TestRequest{TestID: p.testID, RateKbps: 0}
+	reqBuf := req.AppendTo(make([]byte, 0, wire.TestRequestLen))
+	buf := make([]byte, 2048)
+	accepted := false
+	for attempt := 0; attempt < 5 && !accepted; attempt++ {
+		if _, err := conn.Write(reqBuf); err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("transport: test request to %s: %w", server.Addr, err)
+		}
+		_ = conn.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+		for {
+			n, err := conn.Read(buf)
+			if err != nil {
+				break
+			}
+			var acc wire.TestAccept
+			if acc.Decode(buf[:n]) == nil && acc.TestID == p.testID {
+				accepted = true
+				break
+			}
+		}
+	}
+	if !accepted {
+		conn.Close()
+		return nil, fmt.Errorf("transport: %s did not accept test %d", server.Addr, p.testID)
+	}
+	_ = conn.SetReadDeadline(time.Time{})
+
+	sess := &clientSession{conn: conn, server: server, probe: p, done: make(chan struct{})}
+	go sess.receiveLoop()
+	return sess, nil
+}
+
+func (cs *clientSession) receiveLoop() {
+	defer close(cs.done)
+	buf := make([]byte, 2048)
+	for {
+		_ = cs.conn.SetReadDeadline(time.Now().Add(time.Second))
+		n, err := cs.conn.Read(buf)
+		if err != nil {
+			if cs.probe.closed.Load() {
+				return
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue
+			}
+			return
+		}
+		typ, err := wire.PeekType(buf[:n])
+		if err != nil || typ != wire.TypeData {
+			continue
+		}
+		cs.probe.rxBytes.Add(int64(n))
+		cs.probe.observeJitter(buf[:n])
+	}
+}
+
+// observeJitter folds one Data packet into the RFC 3550 interarrival-jitter
+// estimator: J += (|D| − J)/16 where D is the change in (arrival − send)
+// transit time between consecutive packets. Clock offset between client and
+// server cancels in the difference, so no synchronisation is needed.
+func (p *UDPProbe) observeJitter(pkt []byte) {
+	var d wire.Data
+	if d.Decode(pkt) != nil {
+		return
+	}
+	transit := time.Now().UnixNano() - int64(d.SentNS)
+	prev := p.lastTransit.Swap(transit)
+	if prev == 0 {
+		return
+	}
+	delta := transit - prev
+	if delta < 0 {
+		delta = -delta
+	}
+	for {
+		oldBits := p.jitterNs.Load()
+		old := math.Float64frombits(oldBits)
+		next := old + (float64(delta)-old)/16
+		if p.jitterNs.CompareAndSwap(oldBits, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+// Jitter reports the current interarrival-jitter estimate — a free
+// diagnostic of the access link's queueing behaviour during the test.
+func (p *UDPProbe) Jitter() time.Duration {
+	return time.Duration(math.Float64frombits(p.jitterNs.Load()))
+}
+
+// NextSample implements core.Probe: it sleeps until the next sampling
+// boundary and reports the throughput observed in the window.
+func (p *UDPProbe) NextSample() (float64, bool) {
+	if p.closed.Load() {
+		return 0, false
+	}
+	next := p.lastSample.Add(p.sampleInterval)
+	if d := time.Until(next); d > 0 {
+		time.Sleep(d)
+	}
+	now := time.Now()
+	elapsed := now.Sub(p.lastSample).Seconds()
+	if elapsed <= 0 {
+		return 0, false
+	}
+	rx := p.rxBytes.Load()
+	bytes := rx - p.lastRxBytes
+	p.lastRxBytes = rx
+	p.lastSample = now
+	return float64(bytes) * 8 / elapsed / 1e6, true
+}
+
+// Elapsed implements core.Probe.
+func (p *UDPProbe) Elapsed() time.Duration { return time.Since(p.started) }
+
+// DataMB implements core.Probe.
+func (p *UDPProbe) DataMB() float64 { return float64(p.rxBytes.Load()) / 1e6 }
+
+// Finish reports the result to every session's server and closes the probe.
+func (p *UDPProbe) Finish(resultMbps float64, duration time.Duration) {
+	if p.closed.Swap(true) {
+		return
+	}
+	p.mu.Lock()
+	sessions := append([]*clientSession(nil), p.sessions...)
+	p.mu.Unlock()
+	fin := wire.Fin{
+		TestID:     p.testID,
+		ResultKbps: wire.KbpsFromMbps(resultMbps),
+		DurationMS: uint32(duration.Milliseconds()),
+	}
+	buf := fin.AppendTo(make([]byte, 0, wire.FinLen))
+	for _, sess := range sessions {
+		_, _ = sess.conn.Write(buf)
+		sess.conn.Close()
+		<-sess.done
+	}
+}

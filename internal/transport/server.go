@@ -1,0 +1,340 @@
+// Package transport implements Swiftest's probing protocol over real UDP
+// sockets: a test server that paces probe datagrams at a client-controlled
+// rate, and a client probe that plugs into the core engine (core.Probe).
+//
+// This is the deployable counterpart of the virtual-time SimProbe: the same
+// engine logic (package core) drives both, so experiments validated on the
+// emulator carry over to the wire. The server is intentionally cheap — a
+// read loop plus one pacing goroutine per active test — matching the paper's
+// point that Swiftest runs on small 100 Mbps budget VMs (§5.2/§5.3).
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"log/slog"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/mobilebandwidth/swiftest/internal/wire"
+)
+
+// DatagramSize is the probe datagram size (header + padding). Chosen below
+// common MTUs to avoid fragmentation.
+const DatagramSize = 1200
+
+// paceInterval is the pacing quantum: each interval the pacer emits the
+// bytes corresponding to the current probing rate.
+const paceInterval = 5 * time.Millisecond
+
+// DefaultIdleTimeout reaps sessions whose client vanished without Fin.
+const DefaultIdleTimeout = 10 * time.Second
+
+// ServerConfig configures a test server.
+type ServerConfig struct {
+	// UplinkMbps is the server's egress capacity; aggregate pacing across
+	// sessions is capped at this rate, mirroring the budget-server pools of
+	// §5.2. Zero means 100 Mbps.
+	UplinkMbps float64
+	// Logger receives operational events; nil disables logging.
+	Logger *slog.Logger
+	// OnResult, if non-nil, is invoked with each client-reported test
+	// result (Mbps) — the feed for periodic bandwidth-model refresh (§5.1).
+	OnResult func(mbps float64)
+	// IdleTimeout reaps sessions whose client vanished without a Fin; zero
+	// selects DefaultIdleTimeout.
+	IdleTimeout time.Duration
+}
+
+// Server is a Swiftest UDP test server.
+type Server struct {
+	conn   *net.UDPConn
+	cfg    ServerConfig
+	wg     sync.WaitGroup
+	closed atomic.Bool
+
+	mu       sync.Mutex
+	sessions map[sessionKey]*session
+
+	bytesSent atomic.Int64
+}
+
+type sessionKey struct {
+	addr   string
+	testID uint64
+}
+
+type session struct {
+	testID   uint64
+	peer     *net.UDPAddr
+	rateKbps atomic.Uint32
+	rateSeq  atomic.Uint32
+	lastSeen atomic.Int64 // unix nanos
+	stop     chan struct{}
+	stopOnce sync.Once
+}
+
+// NewServer starts a server on addr (e.g. "127.0.0.1:0"). Close releases it.
+func NewServer(addr string, cfg ServerConfig) (*Server, error) {
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: resolving %q: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listening on %q: %w", addr, err)
+	}
+	if cfg.UplinkMbps <= 0 {
+		cfg.UplinkMbps = 100
+	}
+	if cfg.IdleTimeout <= 0 {
+		cfg.IdleTimeout = DefaultIdleTimeout
+	}
+	s := &Server{conn: conn, cfg: cfg, sessions: make(map[sessionKey]*session)}
+	s.wg.Add(1)
+	go s.readLoop()
+	return s, nil
+}
+
+// Addr reports the server's bound UDP address.
+func (s *Server) Addr() *net.UDPAddr { return s.conn.LocalAddr().(*net.UDPAddr) }
+
+// BytesSent reports cumulative probe bytes sent, for utilization accounting.
+func (s *Server) BytesSent() int64 { return s.bytesSent.Load() }
+
+// ActiveSessions reports the number of in-flight tests.
+func (s *Server) ActiveSessions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+// Close stops the server and all sessions.
+func (s *Server) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	err := s.conn.Close()
+	s.mu.Lock()
+	for _, sess := range s.sessions {
+		sess.shutdown()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) logf(msg string, args ...any) {
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Info(msg, args...)
+	}
+}
+
+func (s *Server) readLoop() {
+	defer s.wg.Done()
+	buf := make([]byte, 2048)
+	out := make([]byte, 0, 64)
+	for {
+		n, peer, err := s.conn.ReadFromUDP(buf)
+		if err != nil {
+			if s.closed.Load() {
+				return
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue
+			}
+			return
+		}
+		pkt := buf[:n]
+		typ, err := wire.PeekType(pkt)
+		if err != nil {
+			continue // not ours; drop silently
+		}
+		out = out[:0]
+		switch typ {
+		case wire.TypePing:
+			var ping wire.Ping
+			if ping.Decode(pkt) == nil {
+				pong := wire.Pong{Seq: ping.Seq, EchoNS: ping.SentNS}
+				out = pong.AppendTo(out)
+				_, _ = s.conn.WriteToUDP(out, peer)
+			}
+		case wire.TypeTestRequest:
+			var req wire.TestRequest
+			if req.Decode(pkt) == nil {
+				s.handleTestRequest(&req, peer)
+				acc := wire.TestAccept{TestID: req.TestID}
+				out = acc.AppendTo(out)
+				_, _ = s.conn.WriteToUDP(out, peer)
+			}
+		case wire.TypeRateSet:
+			var rs wire.RateSet
+			if rs.Decode(pkt) == nil {
+				s.handleRateSet(&rs, peer)
+			}
+		case wire.TypeFin:
+			var fin wire.Fin
+			if fin.Decode(pkt) == nil {
+				s.handleFin(&fin, peer)
+				ack := wire.FinAck{TestID: fin.TestID}
+				out = ack.AppendTo(out)
+				_, _ = s.conn.WriteToUDP(out, peer)
+			}
+		}
+	}
+}
+
+func (s *Server) handleTestRequest(req *wire.TestRequest, peer *net.UDPAddr) {
+	key := sessionKey{addr: peer.String(), testID: req.TestID}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.sessions[key]; exists {
+		return // duplicate request (client retransmit); already running
+	}
+	sess := &session{testID: req.TestID, peer: peer, stop: make(chan struct{})}
+	sess.rateKbps.Store(s.clampRateLocked(req.RateKbps, nil))
+	sess.lastSeen.Store(time.Now().UnixNano())
+	s.sessions[key] = sess
+	s.wg.Add(1)
+	go s.pace(sess, key)
+	s.logf("test started", "peer", peer.String(), "test_id", req.TestID,
+		"rate_mbps", wire.MbpsFromKbps(req.RateKbps))
+}
+
+// clampRateLocked limits a session's rate so that the aggregate across all
+// sessions stays within the server uplink. except, when non-nil, is the
+// session whose rate is being replaced and is left out of the in-use sum.
+// Callers hold s.mu.
+func (s *Server) clampRateLocked(kbps uint32, except *session) uint32 {
+	var inUse float64
+	for _, sess := range s.sessions {
+		if sess == except {
+			continue
+		}
+		inUse += wire.MbpsFromKbps(sess.rateKbps.Load())
+	}
+	free := s.cfg.UplinkMbps - inUse
+	if free <= 0 {
+		return 0
+	}
+	if want := wire.MbpsFromKbps(kbps); want > free {
+		return wire.KbpsFromMbps(free)
+	}
+	return kbps
+}
+
+func (s *Server) handleRateSet(rs *wire.RateSet, peer *net.UDPAddr) {
+	key := sessionKey{addr: peer.String(), testID: rs.TestID}
+	s.mu.Lock()
+	sess := s.sessions[key]
+	var clamped uint32
+	if sess != nil {
+		clamped = s.clampRateLocked(rs.RateKbps, sess)
+	}
+	s.mu.Unlock()
+	if sess == nil {
+		return
+	}
+	// Ignore stale (reordered) rate updates.
+	for {
+		cur := sess.rateSeq.Load()
+		if rs.Seq <= cur && cur != 0 {
+			return
+		}
+		if sess.rateSeq.CompareAndSwap(cur, rs.Seq) {
+			break
+		}
+	}
+	sess.rateKbps.Store(clamped)
+	sess.lastSeen.Store(time.Now().UnixNano())
+}
+
+func (s *Server) handleFin(fin *wire.Fin, peer *net.UDPAddr) {
+	key := sessionKey{addr: peer.String(), testID: fin.TestID}
+	s.mu.Lock()
+	sess := s.sessions[key]
+	delete(s.sessions, key)
+	s.mu.Unlock()
+	if sess == nil {
+		return
+	}
+	sess.shutdown()
+	if s.cfg.OnResult != nil {
+		s.cfg.OnResult(wire.MbpsFromKbps(fin.ResultKbps))
+	}
+	s.logf("test finished", "peer", peer.String(), "test_id", fin.TestID,
+		"result_mbps", wire.MbpsFromKbps(fin.ResultKbps))
+}
+
+func (sess *session) shutdown() { sess.stopOnce.Do(func() { close(sess.stop) }) }
+
+// pace emits probe datagrams to the session peer at its current rate until
+// the session stops or idles out.
+func (s *Server) pace(sess *session, key sessionKey) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.sessions, key)
+		s.mu.Unlock()
+	}()
+
+	ticker := time.NewTicker(paceInterval)
+	defer ticker.Stop()
+
+	pkt := make([]byte, 0, DatagramSize)
+	payload := make([]byte, DatagramSize-wire.DataHeaderLen)
+	var seq uint32
+	var carryBytes float64
+	last := time.Now()
+
+	for {
+		select {
+		case <-sess.stop:
+			return
+		case <-ticker.C:
+		}
+		now := time.Now()
+		elapsed := now.Sub(last).Seconds()
+		last = now
+		if now.UnixNano()-sess.lastSeen.Load() > int64(s.cfg.IdleTimeout) {
+			s.logf("session idle timeout", "peer", sess.peer.String(), "test_id", sess.testID)
+			return
+		}
+		rate := wire.MbpsFromKbps(sess.rateKbps.Load())
+		if rate <= 0 {
+			carryBytes = 0
+			continue
+		}
+		// Budget by measured elapsed time, not the nominal tick: the pacer
+		// self-corrects against ticker jitter and scheduling delay so the
+		// client's 50 ms samples stay smooth.
+		carryBytes += rate * 1e6 * elapsed / 8
+		// Bound the burst after a long stall to two ticks of traffic.
+		if maxCarry := rate * 1e6 * 2 * paceInterval.Seconds() / 8; carryBytes > maxCarry {
+			carryBytes = maxCarry
+		}
+		for carryBytes >= DatagramSize {
+			carryBytes -= DatagramSize
+			seq++
+			d := wire.Data{
+				TestID:  sess.testID,
+				Seq:     seq,
+				SentNS:  uint64(time.Now().UnixNano()),
+				Payload: payload,
+			}
+			pkt = d.AppendTo(pkt[:0])
+			if _, err := s.conn.WriteToUDP(pkt, sess.peer); err != nil {
+				if s.closed.Load() {
+					return
+				}
+				// Transient send failure (e.g. buffer full): drop and move on,
+				// exactly like a lossy link.
+				break
+			}
+			s.bytesSent.Add(int64(len(pkt)))
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package wire
+
+import (
+	"testing"
+)
+
+// FuzzDecode feeds arbitrary bytes to every decoder: none may panic, and any
+// input a decoder accepts must re-encode to an equivalent message. Run with
+// `go test -fuzz=FuzzDecode ./internal/wire/` for continuous fuzzing; the
+// seed corpus alone runs as a regular test.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x57, 0x54, 1, 1})
+	f.Add((&Ping{Seq: 1, SentNS: 2}).AppendTo(nil))
+	f.Add((&Pong{Seq: 3, EchoNS: 4}).AppendTo(nil))
+	f.Add((&TestRequest{TestID: 5, RateKbps: 6}).AppendTo(nil))
+	f.Add((&TestAccept{TestID: 7}).AppendTo(nil))
+	f.Add((&RateSet{TestID: 8, RateKbps: 9, Seq: 10}).AppendTo(nil))
+	f.Add((&Data{TestID: 11, Seq: 12, SentNS: 13, Payload: []byte{1, 2, 3}}).AppendTo(nil))
+	f.Add((&Fin{TestID: 14, ResultKbps: 15, DurationMS: 16}).AppendTo(nil))
+	f.Add((&FinAck{TestID: 17}).AppendTo(nil))
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		// PeekType must never panic and must reject anything shorter than
+		// the header.
+		typ, err := PeekType(b)
+		if err != nil {
+			if len(b) >= HeaderLen && err == ErrTruncated {
+				t.Fatalf("ErrTruncated on %d-byte input", len(b))
+			}
+			return
+		}
+		_ = typ.String()
+
+		var ping Ping
+		if ping.Decode(b) == nil {
+			round := ping.AppendTo(nil)
+			var again Ping
+			if again.Decode(round) != nil || again != ping {
+				t.Fatal("Ping decode/encode not idempotent")
+			}
+		}
+		var rs RateSet
+		if rs.Decode(b) == nil {
+			round := rs.AppendTo(nil)
+			var again RateSet
+			if again.Decode(round) != nil || again != rs {
+				t.Fatal("RateSet decode/encode not idempotent")
+			}
+		}
+		var d Data
+		if d.Decode(b) == nil {
+			round := d.AppendTo(nil)
+			var again Data
+			if again.Decode(round) != nil ||
+				again.TestID != d.TestID || again.Seq != d.Seq || again.SentNS != d.SentNS ||
+				string(again.Payload) != string(d.Payload) {
+				t.Fatal("Data decode/encode not idempotent")
+			}
+		}
+		var fin Fin
+		if fin.Decode(b) == nil {
+			round := fin.AppendTo(nil)
+			var again Fin
+			if again.Decode(round) != nil || again != fin {
+				t.Fatal("Fin decode/encode not idempotent")
+			}
+		}
+	})
+}

@@ -1,0 +1,380 @@
+// Package wire defines Swiftest's UDP probing protocol (§5.1: "we alter the
+// transmission protocol from TCP to UDP … implement the customized bandwidth
+// probing mechanism from scratch at the application layer").
+//
+// The protocol is a compact binary format with fixed-size headers, designed
+// for allocation-free encode/decode in the packet hot path: messages encode
+// into caller-provided buffers and decode into preallocated structs, in the
+// style of gopacket's DecodingLayer.
+//
+// Message flow for one bandwidth test:
+//
+//	client                           server
+//	  | ---- Ping(seq) ---------------> |      (server selection)
+//	  | <--- Pong(seq, echo) ---------- |
+//	  | ---- TestRequest(id, rate) ---> |
+//	  | <--- TestAccept(id) ----------- |
+//	  | <--- Data(id, seq, ts, pad) --- |      (paced at the probing rate)
+//	  | ---- RateSet(id, rate) -------> |      (rate escalation feedback)
+//	  | <--- Data ... ----------------- |
+//	  | ---- Fin(id, result) ---------> |
+//	  | <--- FinAck(id) --------------- |
+//
+// Rates travel as Kbps in uint32, giving 4 Tbps of headroom with 1 Kbps
+// resolution. Timestamps are nanoseconds since the Unix epoch in uint64.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Magic identifies Swiftest datagrams; Version is the protocol revision.
+const (
+	Magic   uint16 = 0x5754 // "WT"
+	Version uint8  = 1
+)
+
+// Type enumerates protocol messages.
+type Type uint8
+
+// Protocol message types.
+const (
+	TypePing Type = 1 + iota
+	TypePong
+	TypeTestRequest
+	TypeTestAccept
+	TypeRateSet
+	TypeData
+	TypeFin
+	TypeFinAck
+)
+
+// String implements fmt.Stringer.
+func (t Type) String() string {
+	switch t {
+	case TypePing:
+		return "ping"
+	case TypePong:
+		return "pong"
+	case TypeTestRequest:
+		return "test-request"
+	case TypeTestAccept:
+		return "test-accept"
+	case TypeRateSet:
+		return "rate-set"
+	case TypeData:
+		return "data"
+	case TypeFin:
+		return "fin"
+	case TypeFinAck:
+		return "fin-ack"
+	default:
+		return fmt.Sprintf("unknown(%d)", uint8(t))
+	}
+}
+
+// HeaderLen is the fixed prefix of every message: magic(2) version(1)
+// type(1).
+const HeaderLen = 4
+
+// Errors returned by Decode functions.
+var (
+	ErrTruncated  = errors.New("wire: message truncated")
+	ErrBadMagic   = errors.New("wire: bad magic")
+	ErrBadVersion = errors.New("wire: unsupported version")
+	ErrBadType    = errors.New("wire: unexpected message type")
+)
+
+func putHeader(b []byte, t Type) {
+	binary.BigEndian.PutUint16(b[0:2], Magic)
+	b[2] = Version
+	b[3] = uint8(t)
+}
+
+// PeekType validates the common header of b and returns its message type.
+func PeekType(b []byte) (Type, error) {
+	if len(b) < HeaderLen {
+		return 0, ErrTruncated
+	}
+	if binary.BigEndian.Uint16(b[0:2]) != Magic {
+		return 0, ErrBadMagic
+	}
+	if b[2] != Version {
+		return 0, ErrBadVersion
+	}
+	return Type(b[3]), nil
+}
+
+func checkHeader(b []byte, want Type, bodyLen int) error {
+	t, err := PeekType(b)
+	if err != nil {
+		return err
+	}
+	if t != want {
+		return fmt.Errorf("%w: got %v, want %v", ErrBadType, t, want)
+	}
+	if len(b) < HeaderLen+bodyLen {
+		return ErrTruncated
+	}
+	return nil
+}
+
+// Ping is the latency probe used during server selection (§2, §5.1).
+type Ping struct {
+	Seq    uint32
+	SentNS uint64 // client send time, echoed by the server
+}
+
+// PingLen is the encoded size of a Ping.
+const PingLen = HeaderLen + 12
+
+// AppendTo encodes p into b, which must have at least PingLen capacity from
+// its length; it returns the extended slice.
+func (p *Ping) AppendTo(b []byte) []byte {
+	off := len(b)
+	b = append(b, make([]byte, PingLen)...)
+	putHeader(b[off:], TypePing)
+	binary.BigEndian.PutUint32(b[off+4:], p.Seq)
+	binary.BigEndian.PutUint64(b[off+8:], p.SentNS)
+	return b
+}
+
+// Decode parses b into p.
+func (p *Ping) Decode(b []byte) error {
+	if err := checkHeader(b, TypePing, 12); err != nil {
+		return err
+	}
+	p.Seq = binary.BigEndian.Uint32(b[4:])
+	p.SentNS = binary.BigEndian.Uint64(b[8:])
+	return nil
+}
+
+// Pong answers a Ping, echoing its sequence number and send time.
+type Pong struct {
+	Seq    uint32
+	EchoNS uint64
+}
+
+// PongLen is the encoded size of a Pong.
+const PongLen = HeaderLen + 12
+
+// AppendTo encodes p into b and returns the extended slice.
+func (p *Pong) AppendTo(b []byte) []byte {
+	off := len(b)
+	b = append(b, make([]byte, PongLen)...)
+	putHeader(b[off:], TypePong)
+	binary.BigEndian.PutUint32(b[off+4:], p.Seq)
+	binary.BigEndian.PutUint64(b[off+8:], p.EchoNS)
+	return b
+}
+
+// Decode parses b into p.
+func (p *Pong) Decode(b []byte) error {
+	if err := checkHeader(b, TypePong, 12); err != nil {
+		return err
+	}
+	p.Seq = binary.BigEndian.Uint32(b[4:])
+	p.EchoNS = binary.BigEndian.Uint64(b[8:])
+	return nil
+}
+
+// TestRequest starts a bandwidth test at the given initial probing rate.
+type TestRequest struct {
+	TestID   uint64
+	RateKbps uint32
+}
+
+// TestRequestLen is the encoded size of a TestRequest.
+const TestRequestLen = HeaderLen + 12
+
+// AppendTo encodes t into b and returns the extended slice.
+func (t *TestRequest) AppendTo(b []byte) []byte {
+	off := len(b)
+	b = append(b, make([]byte, TestRequestLen)...)
+	putHeader(b[off:], TypeTestRequest)
+	binary.BigEndian.PutUint64(b[off+4:], t.TestID)
+	binary.BigEndian.PutUint32(b[off+12:], t.RateKbps)
+	return b
+}
+
+// Decode parses b into t.
+func (t *TestRequest) Decode(b []byte) error {
+	if err := checkHeader(b, TypeTestRequest, 12); err != nil {
+		return err
+	}
+	t.TestID = binary.BigEndian.Uint64(b[4:])
+	t.RateKbps = binary.BigEndian.Uint32(b[12:])
+	return nil
+}
+
+// TestAccept acknowledges a TestRequest.
+type TestAccept struct {
+	TestID uint64
+}
+
+// TestAcceptLen is the encoded size of a TestAccept.
+const TestAcceptLen = HeaderLen + 8
+
+// AppendTo encodes t into b and returns the extended slice.
+func (t *TestAccept) AppendTo(b []byte) []byte {
+	off := len(b)
+	b = append(b, make([]byte, TestAcceptLen)...)
+	putHeader(b[off:], TypeTestAccept)
+	binary.BigEndian.PutUint64(b[off+4:], t.TestID)
+	return b
+}
+
+// Decode parses b into t.
+func (t *TestAccept) Decode(b []byte) error {
+	if err := checkHeader(b, TypeTestAccept, 8); err != nil {
+		return err
+	}
+	t.TestID = binary.BigEndian.Uint64(b[4:])
+	return nil
+}
+
+// RateSet retunes the server's pacing rate mid-test (§5.1 rate escalation).
+type RateSet struct {
+	TestID   uint64
+	RateKbps uint32
+	Seq      uint32 // monotonically increasing; stale updates are ignored
+}
+
+// RateSetLen is the encoded size of a RateSet.
+const RateSetLen = HeaderLen + 16
+
+// AppendTo encodes r into b and returns the extended slice.
+func (r *RateSet) AppendTo(b []byte) []byte {
+	off := len(b)
+	b = append(b, make([]byte, RateSetLen)...)
+	putHeader(b[off:], TypeRateSet)
+	binary.BigEndian.PutUint64(b[off+4:], r.TestID)
+	binary.BigEndian.PutUint32(b[off+12:], r.RateKbps)
+	binary.BigEndian.PutUint32(b[off+16:], r.Seq)
+	return b
+}
+
+// Decode parses b into r.
+func (r *RateSet) Decode(b []byte) error {
+	if err := checkHeader(b, TypeRateSet, 16); err != nil {
+		return err
+	}
+	r.TestID = binary.BigEndian.Uint64(b[4:])
+	r.RateKbps = binary.BigEndian.Uint32(b[12:])
+	r.Seq = binary.BigEndian.Uint32(b[16:])
+	return nil
+}
+
+// DataHeaderLen is the non-payload prefix of a Data message.
+const DataHeaderLen = HeaderLen + 20
+
+// Data is one paced probe datagram. The payload is padding that brings the
+// datagram to the probing packet size; its content is arbitrary.
+type Data struct {
+	TestID  uint64
+	Seq     uint32
+	SentNS  uint64
+	Payload []byte // decoded in place: aliases the input buffer
+}
+
+// AppendTo encodes d (header plus payload) into b and returns the extended
+// slice.
+func (d *Data) AppendTo(b []byte) []byte {
+	off := len(b)
+	b = append(b, make([]byte, DataHeaderLen)...)
+	putHeader(b[off:], TypeData)
+	binary.BigEndian.PutUint64(b[off+4:], d.TestID)
+	binary.BigEndian.PutUint32(b[off+12:], d.Seq)
+	binary.BigEndian.PutUint64(b[off+16:], d.SentNS)
+	return append(b, d.Payload...)
+}
+
+// Decode parses b into d. Payload aliases b; copy it if it must outlive the
+// buffer.
+func (d *Data) Decode(b []byte) error {
+	if err := checkHeader(b, TypeData, 20); err != nil {
+		return err
+	}
+	d.TestID = binary.BigEndian.Uint64(b[4:])
+	d.Seq = binary.BigEndian.Uint32(b[12:])
+	d.SentNS = binary.BigEndian.Uint64(b[16:])
+	d.Payload = b[DataHeaderLen:]
+	return nil
+}
+
+// Fin ends a test and reports the client's estimate back to the server
+// (useful for the periodic model refresh of §5.1).
+type Fin struct {
+	TestID     uint64
+	ResultKbps uint32
+	DurationMS uint32
+}
+
+// FinLen is the encoded size of a Fin.
+const FinLen = HeaderLen + 16
+
+// AppendTo encodes f into b and returns the extended slice.
+func (f *Fin) AppendTo(b []byte) []byte {
+	off := len(b)
+	b = append(b, make([]byte, FinLen)...)
+	putHeader(b[off:], TypeFin)
+	binary.BigEndian.PutUint64(b[off+4:], f.TestID)
+	binary.BigEndian.PutUint32(b[off+12:], f.ResultKbps)
+	binary.BigEndian.PutUint32(b[off+16:], f.DurationMS)
+	return b
+}
+
+// Decode parses b into f.
+func (f *Fin) Decode(b []byte) error {
+	if err := checkHeader(b, TypeFin, 16); err != nil {
+		return err
+	}
+	f.TestID = binary.BigEndian.Uint64(b[4:])
+	f.ResultKbps = binary.BigEndian.Uint32(b[12:])
+	f.DurationMS = binary.BigEndian.Uint32(b[16:])
+	return nil
+}
+
+// FinAck acknowledges a Fin; the session is closed on receipt.
+type FinAck struct {
+	TestID uint64
+}
+
+// FinAckLen is the encoded size of a FinAck.
+const FinAckLen = HeaderLen + 8
+
+// AppendTo encodes f into b and returns the extended slice.
+func (f *FinAck) AppendTo(b []byte) []byte {
+	off := len(b)
+	b = append(b, make([]byte, FinAckLen)...)
+	putHeader(b[off:], TypeFinAck)
+	binary.BigEndian.PutUint64(b[off+4:], f.TestID)
+	return b
+}
+
+// Decode parses b into f.
+func (f *FinAck) Decode(b []byte) error {
+	if err := checkHeader(b, TypeFinAck, 8); err != nil {
+		return err
+	}
+	f.TestID = binary.BigEndian.Uint64(b[4:])
+	return nil
+}
+
+// KbpsFromMbps converts a rate in Mbps to the wire's Kbps representation,
+// saturating rather than overflowing.
+func KbpsFromMbps(mbps float64) uint32 {
+	if mbps <= 0 {
+		return 0
+	}
+	k := mbps * 1000
+	if k >= float64(^uint32(0)) {
+		return ^uint32(0)
+	}
+	return uint32(k)
+}
+
+// MbpsFromKbps converts the wire's Kbps representation back to Mbps.
+func MbpsFromKbps(kbps uint32) float64 { return float64(kbps) / 1000 }

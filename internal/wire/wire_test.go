@@ -1,0 +1,221 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPingRoundTrip(t *testing.T) {
+	in := Ping{Seq: 42, SentNS: 123456789}
+	buf := in.AppendTo(nil)
+	if len(buf) != PingLen {
+		t.Fatalf("encoded len = %d, want %d", len(buf), PingLen)
+	}
+	var out Ping
+	if err := out.Decode(buf); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("round trip: got %+v, want %+v", out, in)
+	}
+}
+
+func TestPongRoundTrip(t *testing.T) {
+	in := Pong{Seq: 7, EchoNS: 99}
+	var out Pong
+	if err := out.Decode(in.AppendTo(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("round trip: got %+v, want %+v", out, in)
+	}
+}
+
+func TestTestRequestRoundTrip(t *testing.T) {
+	in := TestRequest{TestID: 1<<60 + 5, RateKbps: 300000}
+	var out TestRequest
+	if err := out.Decode(in.AppendTo(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("round trip: got %+v, want %+v", out, in)
+	}
+}
+
+func TestTestAcceptRoundTrip(t *testing.T) {
+	in := TestAccept{TestID: 12345}
+	var out TestAccept
+	if err := out.Decode(in.AppendTo(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("round trip: got %+v, want %+v", out, in)
+	}
+}
+
+func TestRateSetRoundTrip(t *testing.T) {
+	in := RateSet{TestID: 9, RateKbps: 500000, Seq: 3}
+	var out RateSet
+	if err := out.Decode(in.AppendTo(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("round trip: got %+v, want %+v", out, in)
+	}
+}
+
+func TestDataRoundTrip(t *testing.T) {
+	payload := bytes.Repeat([]byte{0xAB}, 1180)
+	in := Data{TestID: 11, Seq: 1000, SentNS: 55, Payload: payload}
+	buf := in.AppendTo(nil)
+	if len(buf) != DataHeaderLen+len(payload) {
+		t.Fatalf("encoded len = %d", len(buf))
+	}
+	var out Data
+	if err := out.Decode(buf); err != nil {
+		t.Fatal(err)
+	}
+	if out.TestID != 11 || out.Seq != 1000 || out.SentNS != 55 {
+		t.Errorf("fields: %+v", out)
+	}
+	if !bytes.Equal(out.Payload, payload) {
+		t.Error("payload mismatch")
+	}
+}
+
+func TestDataPayloadAliasesBuffer(t *testing.T) {
+	in := Data{TestID: 1, Payload: []byte{1, 2, 3}}
+	buf := in.AppendTo(nil)
+	var out Data
+	if err := out.Decode(buf); err != nil {
+		t.Fatal(err)
+	}
+	buf[DataHeaderLen] = 9
+	if out.Payload[0] != 9 {
+		t.Error("Payload should alias the input buffer (zero-copy decode)")
+	}
+}
+
+func TestFinRoundTrip(t *testing.T) {
+	in := Fin{TestID: 4, ResultKbps: 123456, DurationMS: 1190}
+	var out Fin
+	if err := out.Decode(in.AppendTo(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("round trip: got %+v, want %+v", out, in)
+	}
+}
+
+func TestFinAckRoundTrip(t *testing.T) {
+	in := FinAck{TestID: 77}
+	var out FinAck
+	if err := out.Decode(in.AppendTo(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("round trip: got %+v, want %+v", out, in)
+	}
+}
+
+func TestPeekType(t *testing.T) {
+	buf := (&Ping{Seq: 1}).AppendTo(nil)
+	typ, err := PeekType(buf)
+	if err != nil || typ != TypePing {
+		t.Errorf("PeekType = %v, %v", typ, err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	valid := (&Ping{Seq: 1}).AppendTo(nil)
+
+	var p Ping
+	if err := p.Decode(valid[:3]); err != ErrTruncated {
+		t.Errorf("short header: %v, want ErrTruncated", err)
+	}
+	if err := p.Decode(valid[:PingLen-1]); err != ErrTruncated {
+		t.Errorf("short body: %v, want ErrTruncated", err)
+	}
+
+	bad := append([]byte(nil), valid...)
+	bad[0] = 0
+	if err := p.Decode(bad); err != ErrBadMagic {
+		t.Errorf("bad magic: %v, want ErrBadMagic", err)
+	}
+
+	badVer := append([]byte(nil), valid...)
+	badVer[2] = 99
+	if err := p.Decode(badVer); err != ErrBadVersion {
+		t.Errorf("bad version: %v, want ErrBadVersion", err)
+	}
+
+	var pong Pong
+	if err := pong.Decode(valid); err == nil {
+		t.Error("decoding Ping bytes as Pong should fail with ErrBadType")
+	}
+}
+
+func TestAppendToExistingBuffer(t *testing.T) {
+	// Messages append after existing content without clobbering it.
+	prefix := []byte("prefix")
+	buf := (&TestAccept{TestID: 5}).AppendTo(append([]byte(nil), prefix...))
+	if !bytes.HasPrefix(buf, prefix) {
+		t.Fatal("prefix clobbered")
+	}
+	var out TestAccept
+	if err := out.Decode(buf[len(prefix):]); err != nil {
+		t.Fatal(err)
+	}
+	if out.TestID != 5 {
+		t.Errorf("TestID = %d", out.TestID)
+	}
+}
+
+// TestRoundTripProperty property-checks encode→decode identity for the
+// fixed-size messages.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(id uint64, seq, rate, dur uint32) bool {
+		r := RateSet{TestID: id, RateKbps: rate, Seq: seq}
+		var r2 RateSet
+		if err := r2.Decode(r.AppendTo(nil)); err != nil || r2 != r {
+			return false
+		}
+		fin := Fin{TestID: id, ResultKbps: rate, DurationMS: dur}
+		var f2 Fin
+		if err := f2.Decode(fin.AppendTo(nil)); err != nil || f2 != fin {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRateConversions(t *testing.T) {
+	if KbpsFromMbps(300) != 300000 {
+		t.Error("300 Mbps != 300000 Kbps")
+	}
+	if KbpsFromMbps(-1) != 0 {
+		t.Error("negative rate should clamp to 0")
+	}
+	if KbpsFromMbps(1e12) != ^uint32(0) {
+		t.Error("huge rate should saturate")
+	}
+	if math.Abs(MbpsFromKbps(123456)-123.456) > 1e-9 {
+		t.Error("Kbps→Mbps wrong")
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	for typ, want := range map[Type]string{
+		TypePing: "ping", TypePong: "pong", TypeData: "data",
+		TypeRateSet: "rate-set", Type(200): "unknown(200)",
+	} {
+		if got := typ.String(); got != want {
+			t.Errorf("Type(%d).String() = %q, want %q", typ, got, want)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package swiftest
+
+import (
+	"github.com/mobilebandwidth/swiftest/internal/analysis"
+	"github.com/mobilebandwidth/swiftest/internal/dataset"
+	"github.com/mobilebandwidth/swiftest/internal/spectrum"
+)
+
+// The measurement-study sub-API: the record schema, the calibrated synthetic
+// generator standing in for the paper's 23.6M-test dataset, and the analyses
+// that reproduce §3's findings. These are aliases of the internal
+// implementations so downstream users get the full types.
+
+// Record is one access-bandwidth test with cross-layer metadata (§2).
+type Record = dataset.Record
+
+// ISP identifies one of the four anonymised mobile ISPs of the study.
+type ISP = spectrum.ISP
+
+// The four ISPs of §3.1.
+const (
+	ISP1 = spectrum.ISP1
+	ISP2 = spectrum.ISP2
+	ISP3 = spectrum.ISP3
+	ISP4 = spectrum.ISP4
+)
+
+// Band describes a cellular frequency band (Tables 1 and 2).
+type Band = spectrum.Band
+
+// LTEBands reproduces Table 1; NRBands reproduces Table 2.
+var (
+	LTEBands = spectrum.LTEBands
+	NRBands  = spectrum.NRBands
+)
+
+// DatasetConfig configures a synthetic measurement-record generator.
+type DatasetConfig = dataset.Config
+
+// DatasetGenerator streams synthetic measurement records whose marginal
+// distributions match the paper's findings.
+type DatasetGenerator = dataset.Generator
+
+// NewDatasetGenerator returns a generator for the given year (2020 or 2021)
+// and seed.
+func NewDatasetGenerator(cfg DatasetConfig) (*DatasetGenerator, error) {
+	return dataset.NewGenerator(cfg)
+}
+
+// Analysis re-exports: each function reproduces the corresponding figure of
+// §3 from a slice of records.
+type (
+	// TechAverages is Figure 1's per-technology means.
+	TechAverages = analysis.TechAverages
+	// Distribution summarises a bandwidth distribution (Figures 4, 7, 13–15).
+	Distribution = analysis.Distribution
+	// BandRow is one band's statistics (Figures 5/6/8/9).
+	BandRow = analysis.BandRow
+	// DiurnalRow is one hour of Figure 10.
+	DiurnalRow = analysis.DiurnalRow
+	// RSSRow is one RSS level of Figures 11–12.
+	RSSRow = analysis.RSSRow
+	// PDFResult is a bandwidth density with a fitted mixture (Figures 16/18/19).
+	PDFResult = analysis.PDFResult
+)
+
+// Analysis functions (see package analysis for details).
+var (
+	AverageByTech     = analysis.AverageByTech
+	TechDistribution  = analysis.TechDistribution
+	ByBand            = analysis.ByBand
+	Diurnal           = analysis.Diurnal
+	ByRSSLevel        = analysis.ByRSSLevel
+	WiFiDistributions = analysis.WiFiDistributions
+	BandwidthPDF      = analysis.BandwidthPDF
+	TechFilter        = analysis.TechFilter
+	ByCityTier        = analysis.ByCityTier
+	UrbanRuralRatio   = analysis.UrbanRuralRatio
+	CityRange         = analysis.CityRange
+)

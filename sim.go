@@ -1,0 +1,140 @@
+package swiftest
+
+import (
+	"time"
+
+	"github.com/mobilebandwidth/swiftest/internal/baseline"
+	"github.com/mobilebandwidth/swiftest/internal/core"
+	"github.com/mobilebandwidth/swiftest/internal/emu"
+	"github.com/mobilebandwidth/swiftest/internal/linksim"
+)
+
+// LinkConfig describes an emulated mobile access link for virtual-time
+// experiments. See the linksim package documentation for the semantics of
+// each knob.
+type LinkConfig struct {
+	// CapacityMbps is the bottleneck capacity of the access link. Required.
+	CapacityMbps float64
+	// RTT is the base round-trip time; zero selects 40 ms.
+	RTT time.Duration
+	// Fluctuation is the relative capacity noise (e.g. 0.02 = 2 %).
+	Fluctuation float64
+	// LossRate is the spurious per-tick loss probability.
+	LossRate float64
+	// ShapingBurstMB and ShapingMbps, when ShapingMbps > 0, apply ISP-style
+	// token-bucket traffic shaping: after ShapingBurstMB of traffic the
+	// link clamps to ShapingMbps.
+	ShapingBurstMB float64
+	ShapingMbps    float64
+	// Seed makes the emulation deterministic.
+	Seed int64
+}
+
+func (c LinkConfig) toInternal() linksim.Config {
+	cfg := linksim.Config{
+		CapacityMbps: c.CapacityMbps,
+		RTT:          c.RTT,
+		Fluctuation:  c.Fluctuation,
+		LossRate:     c.LossRate,
+	}
+	if cfg.RTT <= 0 {
+		cfg.RTT = 40 * time.Millisecond
+	}
+	if c.ShapingMbps > 0 {
+		cfg.Shaping = &linksim.Shaper{BurstMB: c.ShapingBurstMB, SustainedMbps: c.ShapingMbps}
+	}
+	return cfg
+}
+
+// SimulateTest runs one Swiftest bandwidth test on an emulated access link
+// in virtual time (microseconds of wall clock). It exercises exactly the
+// same probing engine as Test.
+func SimulateTest(link LinkConfig, model *Model) (Result, error) {
+	l, err := linksim.New(link.toInternal(), link.Seed)
+	if err != nil {
+		return Result{}, err
+	}
+	probe := core.NewSimProbe(l)
+	defer probe.Close()
+	res, err := core.Run(probe, core.Config{Model: model})
+	if err != nil {
+		return Result{}, err
+	}
+	return fromCore(res), nil
+}
+
+// BaselineReport is the outcome of a baseline BTS test on an emulated link.
+type BaselineReport struct {
+	System        string
+	BandwidthMbps float64
+	Duration      time.Duration
+	DataMB        float64
+	Connections   int
+}
+
+func fromBaseline(name string, r baseline.Report) BaselineReport {
+	return BaselineReport{
+		System:        name,
+		BandwidthMbps: r.Result,
+		Duration:      r.Duration,
+		DataMB:        r.DataMB,
+		Connections:   r.Flows,
+	}
+}
+
+// RunBTSApp runs the commercial flooding baseline of §2 (10-second
+// multi-connection TCP download with Speedtest-style trimming) on an
+// emulated link.
+func RunBTSApp(link LinkConfig) (BaselineReport, error) {
+	l, err := linksim.New(link.toInternal(), link.Seed)
+	if err != nil {
+		return BaselineReport{}, err
+	}
+	return fromBaseline("bts-app", (&baseline.BTSApp{}).Run(l)), nil
+}
+
+// RunFAST runs the fast.com-style stability-stop baseline on an emulated
+// link.
+func RunFAST(link LinkConfig) (BaselineReport, error) {
+	l, err := linksim.New(link.toInternal(), link.Seed)
+	if err != nil {
+		return BaselineReport{}, err
+	}
+	return fromBaseline("fast", (&baseline.FAST{}).Run(l)), nil
+}
+
+// RunFastBTS runs the FastBTS crucial-interval baseline (NSDI '21) on an
+// emulated link.
+func RunFastBTS(link LinkConfig) (BaselineReport, error) {
+	l, err := linksim.New(link.toInternal(), link.Seed)
+	if err != nil {
+		return BaselineReport{}, err
+	}
+	return fromBaseline("fastbts", (&baseline.FastBTS{}).Run(l)), nil
+}
+
+// RunTCPSwiftest runs the §7 TCP-compatible data-driven variant on an
+// emulated link: jump-started congestion window, mode escalation, and
+// loss-responsive multiplicative decrease that retains TCP fairness.
+func RunTCPSwiftest(link LinkConfig, model *Model) (BaselineReport, error) {
+	l, err := linksim.New(link.toInternal(), link.Seed)
+	if err != nil {
+		return BaselineReport{}, err
+	}
+	return fromBaseline("swiftest-tcp", (&baseline.TCPSwiftest{Model: model}).Run(l)), nil
+}
+
+// LinkRelay is a running real-socket access-link emulator: a UDP relay that
+// shapes traffic between a real client and a real server with a bottleneck
+// rate, propagation delay, and loss. Point clients at Addr() instead of the
+// server.
+type LinkRelay = emu.Relay
+
+// LinkRelayConfig configures a LinkRelay; see the emu package for semantics.
+type LinkRelayConfig = emu.Config
+
+// NewLinkRelay starts a relay shaping traffic toward cfg.Target, so the real
+// UDP transport can be exercised under 4G/5G/WiFi-like conditions.
+func NewLinkRelay(cfg LinkRelayConfig) (*LinkRelay, error) {
+	return emu.NewRelay(cfg)
+}

@@ -1,0 +1,279 @@
+// Package swiftest is the public API of this repository: a production-style
+// implementation of the Swiftest ultra-fast, ultra-light bandwidth testing
+// service from "Mobile Access Bandwidth in Practice: Measurement, Analysis,
+// and Implications" (SIGCOMM 2022), together with the substrates the paper
+// builds on — the flooding baseline it replaces, the FAST/FastBTS
+// comparators, a virtual-time access-link emulator, the crowdsourced
+// measurement-study pipeline of §3, and the cost-effective server deployment
+// planner of §5.2.
+//
+// # Running a real bandwidth test
+//
+// Start a test server (or several) and run a client test against them:
+//
+//	srv, _ := swiftest.NewServer("0.0.0.0:7007", swiftest.ServerOptions{UplinkMbps: 100})
+//	defer srv.Close()
+//
+//	res, err := swiftest.Test(swiftest.TestOptions{
+//		Servers: []swiftest.ServerAddr{{Addr: "203.0.113.7:7007", UplinkMbps: 100}},
+//		Model:   swiftest.DefaultModel(swiftest.Tech5G),
+//	})
+//
+// The test transport is the paper's UDP probing protocol; the probing logic
+// is the data-driven engine of §5.1: the initial rate is the most probable
+// mode of the technology's bandwidth model, the rate escalates through
+// larger modes while the access link is unsaturated, and the test stops as
+// soon as ten consecutive 50 ms samples agree within 3 %.
+//
+// # Emulation and experiments
+//
+// The same engine runs on a virtual-time link emulator, which is how the
+// repository regenerates every figure of the paper quickly and
+// deterministically; see SimulateTest, the baselines (RunBTSApp, RunFAST,
+// RunFastBTS), and the measurement/deployment sub-APIs in this package.
+package swiftest
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"math/rand"
+	"os"
+	"time"
+
+	"github.com/mobilebandwidth/swiftest/internal/core"
+	"github.com/mobilebandwidth/swiftest/internal/dataset"
+	"github.com/mobilebandwidth/swiftest/internal/gmm"
+	"github.com/mobilebandwidth/swiftest/internal/transport"
+)
+
+// Tech identifies a mobile access technology.
+type Tech = dataset.Tech
+
+// Access technologies with calibrated bandwidth models.
+const (
+	Tech4G   = dataset.Tech4G
+	Tech5G   = dataset.Tech5G
+	TechWiFi = dataset.TechWiFi
+)
+
+// Model is a multi-modal Gaussian bandwidth model (Equation 1 of the paper):
+// the statistical prior that seeds and steers Swiftest's probing.
+type Model = gmm.Model
+
+// ModelComponent is one Gaussian mode of a Model.
+type ModelComponent = gmm.Component
+
+// NewModel builds a bandwidth model from explicit modes.
+func NewModel(components ...ModelComponent) (*Model, error) {
+	return gmm.New(components...)
+}
+
+// FitModel estimates a bandwidth model from observed test results (Mbps)
+// with EM and BIC model selection — the periodic model-refresh path of §5.1.
+// kmax bounds the number of modes considered.
+func FitModel(resultsMbps []float64, kmax int, seed int64) (*Model, error) {
+	m, _, err := gmm.FitBIC(resultsMbps, kmax, rand.New(rand.NewSource(seed)), gmm.FitOptions{})
+	return m, err
+}
+
+// DefaultModel returns the calibrated 2021 bandwidth model for a technology,
+// derived from the paper's measurement study (Figures 16, 18, 19).
+func DefaultModel(tech Tech) (*Model, error) {
+	return dataset.TechModel(tech, 2021)
+}
+
+// SaveModel writes a bandwidth model to path as versioned JSON — how a
+// deployment persists the periodically refreshed models of §5.1.
+func SaveModel(path string, m *Model) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("swiftest: encoding model: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadModel reads a bandwidth model previously written by SaveModel.
+func LoadModel(path string) (*Model, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("swiftest: reading model: %w", err)
+	}
+	var m Model
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// Result is the outcome of one Swiftest bandwidth test.
+type Result struct {
+	// BandwidthMbps is the estimated downstream access bandwidth.
+	BandwidthMbps float64
+	// Duration is the probing time, excluding server selection.
+	Duration time.Duration
+	// SelectionTime is the PING-based server-selection time (zero for
+	// emulated tests).
+	SelectionTime time.Duration
+	// DataMB is the data consumed by the test at the client.
+	DataMB float64
+	// Samples are the 50 ms bandwidth samples collected.
+	Samples []float64
+	// Converged reports whether the 3 % criterion stopped the test (false
+	// means the deadline was hit and the trailing window was reported).
+	Converged bool
+	// RateChanges counts probing-rate escalations.
+	RateChanges int
+	// InitialRateMbps is the model-selected initial probing rate.
+	InitialRateMbps float64
+	// Jitter is the interarrival-jitter estimate of the probe stream
+	// (RFC 3550 style), a free link-quality diagnostic. Zero for emulated
+	// tests.
+	Jitter time.Duration
+}
+
+func fromCore(r core.Result) Result {
+	return Result{
+		BandwidthMbps:   r.Bandwidth,
+		Duration:        r.Duration,
+		DataMB:          r.DataMB,
+		Samples:         r.Samples,
+		Converged:       r.Converged,
+		RateChanges:     r.RateChanges,
+		InitialRateMbps: r.InitialRate,
+	}
+}
+
+// ServerOptions configures a Swiftest test server.
+type ServerOptions struct {
+	// UplinkMbps caps the server's aggregate probe egress; zero selects
+	// 100 Mbps, the budget-VM class of §5.2.
+	UplinkMbps float64
+	// Logger receives operational events; nil disables logging.
+	Logger *slog.Logger
+	// OnResult receives each client-reported result (for model refresh).
+	OnResult func(mbps float64)
+}
+
+// Server is a running Swiftest UDP test server.
+type Server struct {
+	inner *transport.Server
+}
+
+// NewServer starts a test server on addr (e.g. ":7007" or "127.0.0.1:0").
+func NewServer(addr string, opts ServerOptions) (*Server, error) {
+	s, err := transport.NewServer(addr, transport.ServerConfig{
+		UplinkMbps: opts.UplinkMbps,
+		Logger:     opts.Logger,
+		OnResult:   opts.OnResult,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Server{inner: s}, nil
+}
+
+// Addr reports the server's bound address ("host:port").
+func (s *Server) Addr() string { return s.inner.Addr().String() }
+
+// BytesSent reports cumulative probe bytes sent, for utilization accounting.
+func (s *Server) BytesSent() int64 { return s.inner.BytesSent() }
+
+// ActiveTests reports the number of in-flight tests.
+func (s *Server) ActiveTests() int { return s.inner.ActiveSessions() }
+
+// Close stops the server.
+func (s *Server) Close() error { return s.inner.Close() }
+
+// ServerAddr names one test server available to a client.
+type ServerAddr struct {
+	Addr       string  // "host:port"
+	UplinkMbps float64 // advertised egress capacity
+}
+
+// TestOptions configures a client-side bandwidth test.
+type TestOptions struct {
+	// Servers is the candidate test-server pool. Required.
+	Servers []ServerAddr
+	// Model is the bandwidth model for the client's access technology.
+	// Required; use DefaultModel or FitModel.
+	Model *Model
+	// PingCount is the number of latency probes per server during
+	// selection; zero selects 3.
+	PingCount int
+	// PingTimeout bounds each selection probe; zero selects 1 s.
+	PingTimeout time.Duration
+	// MaxDuration bounds the probing phase; zero selects 5 s.
+	MaxDuration time.Duration
+	// Seed drives test-ID generation; zero derives one from the clock.
+	Seed int64
+}
+
+// Test runs one full Swiftest bandwidth test over real UDP: server selection
+// by PING latency, data-driven probing, convergence, and result reporting
+// back to the servers.
+func Test(opts TestOptions) (Result, error) {
+	if len(opts.Servers) == 0 {
+		return Result{}, errors.New("swiftest: no servers configured")
+	}
+	if opts.Model == nil {
+		return Result{}, errors.New("swiftest: a bandwidth model is required (see DefaultModel)")
+	}
+	pingCount := opts.PingCount
+	if pingCount <= 0 {
+		pingCount = 3
+	}
+	pingTimeout := opts.PingTimeout
+	if pingTimeout <= 0 {
+		pingTimeout = time.Second
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+
+	pool := &transport.ServerPool{}
+	for _, s := range opts.Servers {
+		pool.Servers = append(pool.Servers, transport.PoolServer{Addr: s.Addr, UplinkMbps: s.UplinkMbps})
+	}
+	selStart := time.Now()
+	if err := pool.RankByLatency(pingCount, pingTimeout); err != nil {
+		return Result{}, fmt.Errorf("swiftest: server selection: %w", err)
+	}
+	selectionTime := time.Since(selStart)
+
+	probe, err := transport.NewUDPProbe(pool, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return Result{}, fmt.Errorf("swiftest: preparing probe: %w", err)
+	}
+	res, err := core.Run(probe, core.Config{Model: opts.Model, MaxDuration: opts.MaxDuration})
+	jitter := probe.Jitter()
+	probe.Finish(res.Bandwidth, res.Duration)
+	if err != nil {
+		return Result{}, fmt.Errorf("swiftest: probing: %w", err)
+	}
+	out := fromCore(res)
+	out.SelectionTime = selectionTime
+	out.Jitter = jitter
+	return out, nil
+}
+
+// Ping measures the minimum round-trip latency to one test server.
+func Ping(addr string, count int, timeout time.Duration) (time.Duration, error) {
+	return transport.PingServer(addr, count, timeout)
+}
+
+// ModelStore maintains a bandwidth model refreshed periodically from
+// reported test results — the §5.1 model-refresh pipeline. Feed it from
+// ServerOptions.OnResult and serve Model() to clients.
+type ModelStore = core.ModelStore
+
+// RefreshConfig parameterises a ModelStore.
+type RefreshConfig = core.RefreshConfig
+
+// NewModelStore returns a store seeded with an initial model (typically
+// DefaultModel for the deployment's dominant technology).
+func NewModelStore(seed *Model, cfg RefreshConfig) (*ModelStore, error) {
+	return core.NewModelStore(seed, cfg)
+}
