@@ -8,6 +8,8 @@
 //
 // Without -only it runs all experiments in order. -quick shrinks record
 // counts and campaign sizes for a fast smoke run.
+//
+//lint:allow walltime benchmark harness reports real elapsed time
 package main
 
 import (

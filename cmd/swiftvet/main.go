@@ -1,0 +1,84 @@
+// Command swiftvet runs the repository's custom static-analysis suite
+// (package internal/lint) over the module: virtual-time discipline
+// (walltime), bandwidth-unit consistency (units), mutex-guarded state
+// (lockedfields) and cancellable network paths (ctxflow).
+//
+// Usage:
+//
+//	swiftvet [-analyzers name,name] [-list] [packages...]
+//
+// Patterns default to ./... . Diagnostics print as
+// file:line:col: message [analyzer]; the exit code is 1 when any
+// diagnostic fires and 2 on loading failure, making
+// `go run ./cmd/swiftvet ./...` a CI gate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/mobilebandwidth/swiftest/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	flags := flag.NewFlagSet("swiftvet", flag.ContinueOnError)
+	flags.SetOutput(stderr)
+	list := flags.Bool("list", false, "list registered analyzers and exit")
+	names := flags.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	if err := flags.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers := lint.All()
+	if *names != "" {
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*names, ",") {
+			a := lint.Lookup(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(stderr, "swiftvet: unknown analyzer %q (try -list)\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flags.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "swiftvet: %v\n", err)
+		return 2
+	}
+
+	failed := false
+	for _, pkg := range pkgs {
+		diags, err := pkg.RunAnalyzers(analyzers)
+		if err != nil {
+			fmt.Fprintf(stderr, "swiftvet: %v\n", err)
+			return 2
+		}
+		for _, d := range diags {
+			failed = true
+			fmt.Fprintln(stdout, d)
+		}
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}

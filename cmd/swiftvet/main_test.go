@@ -1,0 +1,33 @@
+package main
+
+import (
+	"testing"
+
+	"github.com/mobilebandwidth/swiftest/internal/lint"
+)
+
+// TestSelfCheck runs every analyzer over the whole module: the repository
+// must stay swiftvet-clean, so a violation (or a rotted allow directive)
+// fails the ordinary test suite, not just the dedicated CI step.
+func TestSelfCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("self-check shells out to go list -export")
+	}
+	pkgs, err := lint.Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	analyzers := lint.All()
+	if len(analyzers) < 4 {
+		t.Fatalf("expected at least 4 registered analyzers, got %d", len(analyzers))
+	}
+	for _, pkg := range pkgs {
+		diags, err := pkg.RunAnalyzers(analyzers)
+		if err != nil {
+			t.Fatalf("running analyzers on %s: %v", pkg.PkgPath, err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s", d)
+		}
+	}
+}

@@ -4,6 +4,8 @@
 // 20-server budget fleet of §5.2), then runs a full client test: PING-based
 // server selection, the data-driven UDP probing of §5.1, convergence, and
 // result reporting back to the servers for model refresh.
+//
+//lint:allow walltime live example over real sockets
 package main
 
 import (

@@ -20,14 +20,14 @@ import (
 // handler goroutines while clients read the current model.
 type ModelStore struct {
 	mu      sync.Mutex
-	model   *gmm.Model
-	window  []float64 // recent results, bounded ring
-	next    int       // ring cursor once the window is full
-	full    bool
-	lastFit time.Time
+	model   *gmm.Model // guarded by mu
+	window  []float64  // recent results, bounded ring; guarded by mu
+	next    int        // ring cursor once the window is full; guarded by mu
+	full    bool       // guarded by mu
+	lastFit time.Time  // guarded by mu
+	rng     *rand.Rand // guarded by mu
 
 	cfg RefreshConfig
-	rng *rand.Rand
 }
 
 // RefreshConfig parameterises a ModelStore.
@@ -42,6 +42,10 @@ type RefreshConfig struct {
 	MaxModes int
 	// Seed drives EM initialisation.
 	Seed int64
+	// Clock supplies the store's notion of now for refit bookkeeping; nil
+	// selects the wall clock. Virtual-time experiments inject the
+	// simulation clock so refresh timestamps stay deterministic.
+	Clock func() time.Time
 }
 
 func (c RefreshConfig) withDefaults() RefreshConfig {
@@ -53,6 +57,9 @@ func (c RefreshConfig) withDefaults() RefreshConfig {
 	}
 	if c.MaxModes <= 0 {
 		c.MaxModes = 6
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now //lint:allow walltime deployment default; simulations inject a virtual clock
 	}
 	return c
 }
@@ -114,9 +121,13 @@ func (s *ModelStore) Refresh() (*gmm.Model, bool, error) {
 		return m, false, nil
 	}
 	xs := append([]float64(nil), s.window...)
-	rng := s.rng
+	// Derive a child generator under the lock instead of sharing s.rng with
+	// the (potentially slow) EM fit: concurrent Refresh calls would race on
+	// the shared generator's state.
+	seed := s.rng.Int63()
 	maxModes := s.cfg.MaxModes
 	s.mu.Unlock()
+	rng := rand.New(rand.NewSource(seed))
 
 	fitted, _, err := gmm.FitBIC(xs, maxModes, rng, gmm.FitOptions{})
 	if err != nil {
@@ -125,16 +136,24 @@ func (s *ModelStore) Refresh() (*gmm.Model, bool, error) {
 
 	s.mu.Lock()
 	s.model = fitted
-	s.lastFit = time.Now()
+	s.lastFit = s.cfg.Clock()
 	s.mu.Unlock()
 	return fitted, true, nil
+}
+
+// LastFit reports when the model was last refitted (zero before the first
+// refit), in the store's configured clock.
+func (s *ModelStore) LastFit() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastFit
 }
 
 // RunRefresher refits on the given cadence until stop is closed. Errors are
 // delivered to onErr if non-nil and otherwise dropped (a failed refit leaves
 // the previous model serving, which is always safe).
 func (s *ModelStore) RunRefresher(interval time.Duration, stop <-chan struct{}, onErr func(error)) {
-	ticker := time.NewTicker(interval)
+	ticker := time.NewTicker(interval) //lint:allow walltime deployment-side cadence; simulations call Refresh directly
 	defer ticker.Stop()
 	for {
 		select {

@@ -147,3 +147,63 @@ func TestRunRefresher(t *testing.T) {
 		t.Errorf("refresher never adopted the new population: mode %.0f", m.MostProbableMode().Rate)
 	}
 }
+
+// TestStoreInjectedClock: the store's refit timestamp comes from the
+// injected clock, never the wall clock — the walltime invariant that keeps
+// virtual-time experiments deterministic.
+func TestStoreInjectedClock(t *testing.T) {
+	virtual := time.Date(2022, 8, 22, 9, 0, 0, 0, time.UTC) // SIGCOMM '22, day one
+	store, err := NewModelStore(seedModel(), RefreshConfig{
+		MinResults: 50,
+		Seed:       11,
+		Clock:      func() time.Time { return virtual },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !store.LastFit().IsZero() {
+		t.Errorf("LastFit before any refit = %v, want zero", store.LastFit())
+	}
+	rng := rand.New(rand.NewSource(12))
+	for i := 0; i < 100; i++ {
+		store.Report(rng.Float64()*100 + 20)
+	}
+	if _, refitted, err := store.Refresh(); err != nil || !refitted {
+		t.Fatalf("Refresh: refitted=%v err=%v", refitted, err)
+	}
+	if got := store.LastFit(); !got.Equal(virtual) {
+		t.Errorf("LastFit = %v, want the injected virtual instant %v", got, virtual)
+	}
+}
+
+// TestRefreshDeterministicForSeed pins the regression the walltime audit
+// protects: two stores with the same seed and the same reported results must
+// refit to bit-identical models, run after run.
+func TestRefreshDeterministicForSeed(t *testing.T) {
+	fit := func() *gmm.Model {
+		store, err := NewModelStore(seedModel(), RefreshConfig{MinResults: 200, MaxModes: 4, Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(43))
+		truth := seedModel()
+		for i := 0; i < 400; i++ {
+			store.Report(truth.Sample(rng))
+		}
+		m, refitted, err := store.Refresh()
+		if err != nil || !refitted {
+			t.Fatalf("Refresh: refitted=%v err=%v", refitted, err)
+		}
+		return m
+	}
+	a, b := fit(), fit()
+	ac, bc := a.Components(), b.Components()
+	if len(ac) != len(bc) {
+		t.Fatalf("component counts differ: %d vs %d", len(ac), len(bc))
+	}
+	for i := range ac {
+		if ac[i] != bc[i] {
+			t.Errorf("component %d differs across identical runs: %+v vs %+v", i, ac[i], bc[i])
+		}
+	}
+}

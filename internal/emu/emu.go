@@ -9,6 +9,8 @@
 // loopback. Uplink traffic (the client's small control messages) is forwarded
 // unshaped, mirroring the asymmetry of real access links whose bottleneck is
 // the downlink.
+//
+//lint:allow walltime real-time relay pacing real sockets; the virtual-time emulator is package linksim
 package emu
 
 import (

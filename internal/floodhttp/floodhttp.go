@@ -13,6 +13,8 @@
 // samples aggregate goodput every 50 ms, progressively adds connections when
 // samples cross the Speedtest-style threshold ladder, and estimates with the
 // 20-group 5-low/2-high trimming rule (baseline.BTSAppEstimate).
+//
+//lint:allow walltime deployment-side flooding over real HTTP/TCP; the virtual-time counterpart is baseline.BTSApp
 package floodhttp
 
 import (

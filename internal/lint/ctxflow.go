@@ -1,0 +1,184 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxFlow keeps the deployable hot paths cancellable. In the packages that
+// face real networks on behalf of callers (the UDP transport and the
+// baseline estimators' I/O helpers), an exported function that spawns
+// goroutines or loops on blocking network reads without accepting a
+// context.Context — and without bounding itself with a deadline — cannot be
+// cancelled by the caller, which is how a test server ends up wedged behind
+// a dead client at scale.
+//
+// A function passes if any of these hold:
+//   - it takes a context.Context parameter,
+//   - it derives a bounded context internally (context.WithTimeout/
+//     WithDeadline/WithCancel),
+//   - its read loops are bounded by Set{Read,Write,}Deadline calls,
+//   - a //lint:allow ctxflow directive documents why its lifetime is
+//     managed another way (e.g. a constructor whose goroutine is bounded
+//     by Close).
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc: "flags exported functions in network-facing packages that spawn " +
+		"goroutines or loop on blocking network reads without a " +
+		"context.Context or deadline",
+	Run: runCtxFlow,
+}
+
+func init() { Register(CtxFlow) }
+
+// ctxFlowPackageSuffixes selects the packages under enforcement. Matching
+// by suffix keeps the analyzer independent of the module path.
+var ctxFlowPackageSuffixes = []string{
+	"internal/transport",
+	"internal/baseline",
+}
+
+// blockingReadFuncs are method names that block on network input.
+var blockingReadFuncs = map[string]bool{
+	"Read":        true,
+	"ReadFrom":    true,
+	"ReadFromUDP": true,
+	"ReadMsgUDP":  true,
+	"Accept":      true,
+	"Do":          true, // http.Client.Do
+}
+
+// deadlineFuncs bound a read loop without a context.
+var deadlineFuncs = map[string]bool{
+	"SetDeadline":      true,
+	"SetReadDeadline":  true,
+	"SetWriteDeadline": true,
+}
+
+// ctxDeriveFuncs are the context constructors that bound work internally.
+var ctxDeriveFuncs = map[string]bool{
+	"WithTimeout":  true,
+	"WithDeadline": true,
+	"WithCancel":   true,
+}
+
+func runCtxFlow(pass *Pass) error {
+	enforced := false
+	for _, suffix := range ctxFlowPackageSuffixes {
+		if strings.HasSuffix(pass.PkgPath, suffix) {
+			enforced = true
+			break
+		}
+	}
+	if !enforced {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !fn.Name.IsExported() {
+				continue
+			}
+			checkCtxFlow(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkCtxFlow(pass *Pass, fn *ast.FuncDecl) {
+	if hasContextParam(pass, fn) {
+		return
+	}
+
+	var (
+		firstGo      ast.Node
+		firstNetLoop ast.Node
+		bounded      bool
+	)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			if firstGo == nil {
+				firstGo = n
+			}
+		case *ast.ForStmt, *ast.RangeStmt:
+			if firstNetLoop == nil && loopHasBlockingRead(n) {
+				firstNetLoop = n
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if deadlineFuncs[sel.Sel.Name] {
+					bounded = true
+				}
+				if base, ok := sel.X.(*ast.Ident); ok && ctxDeriveFuncs[sel.Sel.Name] {
+					if pkg, ok := pass.Info.Uses[base].(*types.PkgName); ok && pkg.Imported().Path() == "context" {
+						bounded = true
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	if firstGo != nil {
+		pass.Reportf(fn.Name.Pos(),
+			"exported %s starts a goroutine but accepts no context.Context — plumb a ctx through, or annotate //lint:allow ctxflow <how its lifetime is bounded>",
+			fn.Name.Name)
+	}
+	if firstNetLoop != nil && !bounded {
+		pass.Reportf(fn.Name.Pos(),
+			"exported %s loops on blocking network reads with no context.Context and no deadline — it cannot be cancelled by callers",
+			fn.Name.Name)
+	}
+}
+
+// hasContextParam reports whether any parameter's type is context.Context.
+func hasContextParam(pass *Pass, fn *ast.FuncDecl) bool {
+	for _, field := range fn.Type.Params.List {
+		tv, ok := pass.Info.Types[field.Type]
+		if !ok {
+			continue
+		}
+		named, ok := tv.Type.(*types.Named)
+		if !ok {
+			continue
+		}
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context" {
+			return true
+		}
+	}
+	return false
+}
+
+// loopHasBlockingRead reports whether a loop body contains a call to a
+// blocking network-read method.
+func loopHasBlockingRead(loop ast.Node) bool {
+	var body *ast.BlockStmt
+	switch l := loop.(type) {
+	case *ast.ForStmt:
+		body = l.Body
+	case *ast.RangeStmt:
+		body = l.Body
+	}
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && blockingReadFuncs[sel.Sel.Name] {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,122 @@
+package lint
+
+import "testing"
+
+// ctxflowFixtureImports is the common header for ctxflow fixtures. The
+// fixture package path must end in internal/transport (or
+// internal/baseline) to be under enforcement.
+const ctxflowFixture = `package transport
+
+import (
+	"context"
+	"net"
+)
+
+func Spawn() { // want "exported Spawn starts a goroutine but accepts no context.Context"
+	go func() {}()
+}
+
+func SpawnCtx(ctx context.Context) {
+	go func() { <-ctx.Done() }()
+}
+
+func Drain(conn net.Conn) error { // want "exported Drain loops on blocking network reads with no context.Context and no deadline"
+	buf := make([]byte, 1500)
+	for {
+		if _, err := conn.Read(buf); err != nil {
+			return err
+		}
+	}
+}
+
+func DrainCtx(ctx context.Context, conn net.Conn) error {
+	buf := make([]byte, 1500)
+	for ctx.Err() == nil {
+		if _, err := conn.Read(buf); err != nil {
+			return err
+		}
+	}
+	return ctx.Err()
+}
+
+func DrainDeadline(conn net.Conn) error {
+	buf := make([]byte, 1500)
+	for {
+		_ = conn.SetReadDeadline(deadline())
+		if _, err := conn.Read(buf); err != nil {
+			return err
+		}
+	}
+}
+
+func DrainBounded(conn net.Conn) error {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout())
+	defer cancel()
+	buf := make([]byte, 1500)
+	for ctx.Err() == nil {
+		if _, err := conn.Read(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// unexported helpers are out of scope: internal loops are the exported
+// callers' responsibility.
+func drain(conn net.Conn) {
+	buf := make([]byte, 1500)
+	for {
+		if _, err := conn.Read(buf); err != nil {
+			return
+		}
+	}
+}
+`
+
+const ctxflowFixtureTail = `package transport
+
+import "time"
+
+func deadline() time.Time { return time.Time{} }
+
+func timeout() time.Duration { return time.Second }
+`
+
+// TestCtxFlowEnforced: in an enforced package, goroutine spawns and
+// unbounded network-read loops without a ctx are flagged; ctx params,
+// deadlines, internally bounded contexts and unexported helpers pass.
+func TestCtxFlowEnforced(t *testing.T) {
+	runFixture(t, CtxFlow, "example.com/internal/transport", map[string]string{
+		"transport.go": ctxflowFixture,
+		"clock.go":     ctxflowFixtureTail,
+	})
+}
+
+// TestCtxFlowOtherPackagesExempt: the same code in a package outside the
+// enforcement list produces nothing.
+func TestCtxFlowOtherPackagesExempt(t *testing.T) {
+	fixture := "package transport\n\nfunc Spawn() {\n\tgo func() {}()\n}\n"
+	runFixture(t, CtxFlow, "example.com/internal/emu", map[string]string{
+		"emu.go": fixture,
+	})
+}
+
+// TestCtxFlowAllow: a directive documents lifecycle management that the
+// analyzer cannot see (constructor goroutines bounded by Close).
+func TestCtxFlowAllow(t *testing.T) {
+	runFixture(t, CtxFlow, "example.com/internal/transport", map[string]string{
+		"transport.go": `package transport
+
+type Server struct{ stop chan struct{} }
+
+//lint:allow ctxflow the read loop's lifetime is bounded by Close
+func NewServer() *Server {
+	s := &Server{stop: make(chan struct{})}
+	go func() { <-s.stop }()
+	return s
+}
+
+func (s *Server) Close() { close(s.stop) }
+`,
+	})
+}

@@ -1,0 +1,246 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// LockedFields enforces the repository's `// guarded by <mu>` convention:
+// for a struct with a sync.Mutex or sync.RWMutex field, sibling fields
+// documented as guarded by that mutex may only be touched from methods that
+// actually lock it (or from methods whose name ends in "Locked", the
+// caller-holds-the-lock convention). Constructors and plain functions are
+// out of scope — state is not shared before it is published.
+//
+// The annotation is a line comment on the field:
+//
+//	mu       sync.Mutex
+//	sessions map[string]*session // guarded by mu
+//
+// Annotating a field with a name that is not a mutex field of the same
+// struct is itself a diagnostic, so the convention cannot rot silently.
+var LockedFields = &Analyzer{
+	Name: "lockedfields",
+	Doc: "flags access to `// guarded by mu` struct fields from methods " +
+		"that do not lock mu (methods named *Locked are exempt)",
+	Run: runLockedFields,
+}
+
+func init() { Register(LockedFields) }
+
+var guardedByPattern = regexp.MustCompile(`guarded by (\w+)`)
+
+// guardedStruct is one annotated struct: its mutex fields and the guarded
+// field -> mutex name mapping.
+type guardedStruct struct {
+	mutexes map[string]bool
+	guarded map[string]string // field name -> guarding mutex field name
+}
+
+func runLockedFields(pass *Pass) error {
+	structs := collectGuardedStructs(pass)
+	if len(structs) == 0 {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || len(fn.Recv.List) != 1 || fn.Body == nil {
+				continue
+			}
+			recvIdent := receiverIdent(fn)
+			if recvIdent == nil {
+				continue
+			}
+			structName := receiverStructName(fn)
+			gs, ok := structs[structName]
+			if !ok {
+				continue
+			}
+			checkMethod(pass, fn, recvIdent, structName, gs)
+		}
+	}
+	return nil
+}
+
+// collectGuardedStructs finds every struct in the package with a mutex
+// field and at least one `// guarded by` annotation, validating the
+// annotations as it goes.
+func collectGuardedStructs(pass *Pass) map[string]*guardedStruct {
+	structs := map[string]*guardedStruct{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			gs := &guardedStruct{mutexes: map[string]bool{}, guarded: map[string]string{}}
+			for _, field := range st.Fields.List {
+				if fieldIsMutex(pass, field) {
+					for _, name := range field.Names {
+						gs.mutexes[name.Name] = true
+					}
+				}
+			}
+			for _, field := range st.Fields.List {
+				mu := guardAnnotation(field)
+				if mu == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if !gs.mutexes[mu] {
+						// An invalid annotation is reported but not
+						// enforced — enforcing a phantom mutex would flag
+						// every access.
+						pass.Reportf(name.Pos(),
+							"field annotated `guarded by %s` but %s.%s is not a sync.Mutex/RWMutex field",
+							mu, ts.Name.Name, mu)
+						continue
+					}
+					gs.guarded[name.Name] = mu
+				}
+			}
+			if len(gs.guarded) > 0 {
+				structs[ts.Name.Name] = gs
+			}
+			return true
+		})
+	}
+	return structs
+}
+
+// fieldIsMutex reports whether the field's type is sync.Mutex or
+// sync.RWMutex (directly or behind a pointer).
+func fieldIsMutex(pass *Pass, field *ast.Field) bool {
+	tv, ok := pass.Info.Types[field.Type]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// guardAnnotation extracts the mutex name from a field's trailing comment
+// or doc comment, or "".
+func guardAnnotation(field *ast.Field) string {
+	for _, group := range []*ast.CommentGroup{field.Comment, field.Doc} {
+		if group == nil {
+			continue
+		}
+		if m := guardedByPattern.FindStringSubmatch(group.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// receiverIdent returns the receiver's identifier, or nil for anonymous
+// receivers (which cannot access fields anyway).
+func receiverIdent(fn *ast.FuncDecl) *ast.Ident {
+	names := fn.Recv.List[0].Names
+	if len(names) != 1 || names[0].Name == "_" {
+		return nil
+	}
+	return names[0]
+}
+
+// receiverStructName resolves the receiver's base type name ("T" for both
+// T and *T receivers, including generic instantiations).
+func receiverStructName(fn *ast.FuncDecl) string {
+	t := fn.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok {
+		t = idx.X
+	}
+	if idx, ok := t.(*ast.IndexListExpr); ok {
+		t = idx.X
+	}
+	if ident, ok := t.(*ast.Ident); ok {
+		return ident.Name
+	}
+	return ""
+}
+
+// checkMethod flags guarded-field accesses in methods that never lock the
+// guarding mutex.
+func checkMethod(pass *Pass, fn *ast.FuncDecl, recvIdent *ast.Ident, structName string, gs *guardedStruct) {
+	if len(fn.Name.Name) > len("Locked") && fn.Name.Name[len(fn.Name.Name)-len("Locked"):] == "Locked" {
+		return // caller-holds-the-lock convention
+	}
+	recvObj := pass.Info.Defs[recvIdent]
+
+	// isReceiver reports whether an identifier denotes the method receiver,
+	// resisting shadowing via the types.Info object identity.
+	isReceiver := func(ident *ast.Ident) bool {
+		if obj := pass.Info.Uses[ident]; obj != nil && recvObj != nil {
+			return obj == recvObj
+		}
+		return ident.Name == recvIdent.Name
+	}
+
+	// First pass: which mutexes does this method lock anywhere in its body
+	// (including deferred closures, which is how scoped critical sections
+	// are written)?
+	locked := map[string]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		muSel, ok := sel.X.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		base, ok := muSel.X.(*ast.Ident)
+		if !ok || !isReceiver(base) {
+			return true
+		}
+		if gs.mutexes[muSel.Sel.Name] {
+			locked[muSel.Sel.Name] = true
+		}
+		return true
+	})
+
+	// Second pass: every receiver.guardedField access must be covered by a
+	// lock of its guarding mutex.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		base, ok := sel.X.(*ast.Ident)
+		if !ok || !isReceiver(base) {
+			return true
+		}
+		mu, guarded := gs.guarded[sel.Sel.Name]
+		if !guarded || locked[mu] {
+			return true
+		}
+		pass.Reportf(sel.Pos(),
+			"%s.%s is guarded by %s but method %s never locks it (lock %s, rename the method *Locked, or annotate //lint:allow lockedfields <reason>)",
+			structName, sel.Sel.Name, mu, fn.Name.Name, mu)
+		return true
+	})
+}

@@ -1,0 +1,110 @@
+package lint
+
+import "testing"
+
+// TestLockedFieldsViolation: touching a guarded field in a method that
+// never locks the mutex is flagged; locking methods, *Locked methods and
+// unguarded siblings are fine.
+func TestLockedFieldsViolation(t *testing.T) {
+	runFixture(t, LockedFields, "example.com/srv", map[string]string{
+		"srv.go": `package srv
+
+import "sync"
+
+type Server struct {
+	mu       sync.Mutex
+	sessions map[string]int // guarded by mu
+	hits     int            // guarded by mu
+	name     string         // not guarded: immutable after construction
+}
+
+func (s *Server) Active() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+func (s *Server) activeLocked() int {
+	return len(s.sessions) + s.hits
+}
+
+func (s *Server) Name() string { return s.name }
+
+func (s *Server) Peek() int {
+	return len(s.sessions) // want "Server.sessions is guarded by mu but method Peek never locks it"
+}
+
+func (s *Server) Bump() {
+	s.hits++ // want "Server.hits is guarded by mu but method Bump never locks it"
+}
+`,
+	})
+}
+
+// TestLockedFieldsRWMutexAndDefer: RLock counts, and locking inside a
+// deferred closure (the scoped-critical-section idiom) counts.
+func TestLockedFieldsRWMutexAndDefer(t *testing.T) {
+	runFixture(t, LockedFields, "example.com/srv", map[string]string{
+		"srv.go": `package srv
+
+import "sync"
+
+type Cache struct {
+	mu      sync.RWMutex
+	entries map[string]string // guarded by mu
+}
+
+func (c *Cache) Get(k string) string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.entries[k]
+}
+
+func (c *Cache) Cleanup() {
+	defer func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		c.entries = nil
+	}()
+}
+`,
+	})
+}
+
+// TestLockedFieldsBadAnnotation: naming a non-mutex (or missing) field in a
+// guarded-by comment is itself a diagnostic.
+func TestLockedFieldsBadAnnotation(t *testing.T) {
+	runFixture(t, LockedFields, "example.com/srv", map[string]string{
+		"srv.go": `package srv
+
+import "sync"
+
+type Pool struct {
+	once  sync.Once
+	conns []int // guarded by once // want "field annotated .guarded by once. but Pool.once is not a sync.Mutex/RWMutex field"
+}
+
+func (p *Pool) Len() int { return len(p.conns) }
+`,
+	})
+}
+
+// TestLockedFieldsAllow: an allow directive documents a deliberately
+// unlocked fast path.
+func TestLockedFieldsAllow(t *testing.T) {
+	runFixture(t, LockedFields, "example.com/srv", map[string]string{
+		"srv.go": `package srv
+
+import "sync"
+
+type Gauge struct {
+	mu  sync.Mutex
+	val int // guarded by mu
+}
+
+func (g *Gauge) Racy() int {
+	return g.val //lint:allow lockedfields monitoring fast path tolerates staleness
+}
+`,
+	})
+}

@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Units flags arithmetic, comparisons and assignments that mix identifiers
+// declaring conflicting bandwidth units in their names — the paper's §5.1
+// model and §5.2 ILP are specified in Mbps, the wire protocol carries Kbps,
+// and the pacers work in bytes, so a bare `rateMbps > budgetBytes` is
+// almost certainly a silent unit bug. Multiplication and division are
+// exempt (they are how conversions are written), as is any value that has
+// passed through a call (conversion helpers like wire.KbpsFromMbps).
+var Units = &Analyzer{
+	Name: "units",
+	Doc: "flags +,-,comparisons and assignments mixing identifiers with " +
+		"conflicting bandwidth-unit name suffixes (Mbps, Kbps, Bytes, Bits, MB, ...) " +
+		"without an explicit conversion",
+	Run: runUnits,
+}
+
+func init() { Register(Units) }
+
+// unitSuffixes maps name suffixes to unit categories, longest-first so
+// "BytesPerSec" wins over "Bytes". Categories are opaque strings; any two
+// distinct categories conflict.
+var unitSuffixes = []struct{ suffix, unit string }{
+	{"BytesPerSec", "bytes/sec"},
+	{"BitsPerSec", "bits/sec"},
+	{"Mbps", "Mbps"},
+	{"Kbps", "Kbps"},
+	{"Gbps", "Gbps"},
+	{"Bytes", "bytes"},
+	{"Bits", "bits"},
+	{"MB", "MB"},
+	{"KB", "KB"},
+	{"GB", "GB"},
+}
+
+// wholeNameUnits catches bare lowercase parameter names like `mbps`.
+var wholeNameUnits = map[string]string{
+	"mbps": "Mbps", "kbps": "Kbps", "gbps": "Gbps",
+	"bytes": "bytes", "bits": "bits",
+}
+
+// unitOfName extracts the declared unit from an identifier name, or "".
+func unitOfName(name string) string {
+	for _, s := range unitSuffixes {
+		if len(name) > len(s.suffix) && strings.HasSuffix(name, s.suffix) {
+			return s.unit
+		}
+	}
+	return wholeNameUnits[strings.ToLower(name)]
+}
+
+// unitOf extracts the declared unit of an expression: identifiers and field
+// selectors carry their name's unit; calls launder units (they are
+// conversions); everything else is unit-neutral.
+func unitOf(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return unitOfName(e.Name)
+	case *ast.SelectorExpr:
+		return unitOfName(e.Sel.Name)
+	}
+	return ""
+}
+
+// mixableOps are the operators where both operands must agree on units.
+// MUL/QUO are how conversions are written; SHL etc. never appear on rates.
+var mixableOps = map[token.Token]bool{
+	token.ADD: true, token.SUB: true,
+	token.LSS: true, token.GTR: true, token.LEQ: true, token.GEQ: true,
+	token.EQL: true, token.NEQ: true,
+}
+
+func runUnits(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if !mixableOps[n.Op] {
+					return true
+				}
+				left, right := unitOf(n.X), unitOf(n.Y)
+				if left != "" && right != "" && left != right {
+					pass.Reportf(n.Pos(),
+						"unit mismatch: %s (%s) %s %s (%s) without an explicit conversion",
+						describe(n.X), left, n.Op, describe(n.Y), right)
+				}
+			case *ast.AssignStmt:
+				if len(n.Lhs) != len(n.Rhs) {
+					return true
+				}
+				for i := range n.Lhs {
+					left, right := unitOf(n.Lhs[i]), unitOf(n.Rhs[i])
+					if left != "" && right != "" && left != right {
+						pass.Reportf(n.Pos(),
+							"unit mismatch: assigning %s (%s) to %s (%s) without an explicit conversion",
+							describe(n.Rhs[i]), right, describe(n.Lhs[i]), left)
+					}
+				}
+			case *ast.ValueSpec:
+				for i, name := range n.Names {
+					if i >= len(n.Values) {
+						break
+					}
+					left, right := unitOfName(name.Name), unitOf(n.Values[i])
+					if left != "" && right != "" && left != right {
+						pass.Reportf(name.Pos(),
+							"unit mismatch: initialising %s (%s) from %s (%s) without an explicit conversion",
+							name.Name, left, describe(n.Values[i]), right)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// describe renders a flagged operand for the message.
+func describe(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		if x, ok := e.X.(*ast.Ident); ok {
+			return x.Name + "." + e.Sel.Name
+		}
+		return "…." + e.Sel.Name
+	}
+	return "expression"
+}

@@ -1,0 +1,83 @@
+package lint
+
+import "testing"
+
+// TestUnitsMismatches: additive/comparison/assignment mixing of declared
+// units is flagged; multiplicative conversion chains and unit-agreeing
+// operations are not.
+func TestUnitsMismatches(t *testing.T) {
+	runFixture(t, Units, "example.com/bw", map[string]string{
+		"bw.go": `package bw
+
+func Budget(rateMbps, capMbps, rxBytes, txBytes float64) float64 {
+	total := rateMbps + capMbps // same unit: fine
+	sum := rxBytes + txBytes    // same unit: fine
+	bad := rateMbps + rxBytes // want "unit mismatch: rateMbps \(Mbps\) \+ rxBytes \(bytes\)"
+	if rateMbps > txBytes { // want "unit mismatch: rateMbps \(Mbps\) > txBytes \(bytes\)"
+		return bad
+	}
+	// Multiplication and division are how conversions are written.
+	asBits := rxBytes * 8
+	asMbps := asBits / 1e6
+	_ = asMbps
+	return total + sum
+}
+`,
+	})
+}
+
+// TestUnitsAssignments: cross-unit assignment and initialisation are
+// flagged; assigning through a conversion call is not.
+func TestUnitsAssignments(t *testing.T) {
+	runFixture(t, Units, "example.com/bw", map[string]string{
+		"bw.go": `package bw
+
+func KbpsFromMbps(mbps float64) float64 { return mbps * 1000 }
+
+type stats struct {
+	RateKbps float64
+	rxBytes  float64
+}
+
+func Update(s *stats, rateMbps float64) {
+	s.RateKbps = rateMbps // want "unit mismatch: assigning rateMbps \(Mbps\) to s.RateKbps \(Kbps\)"
+	var windowKbps = rateMbps // want "unit mismatch: initialising windowKbps \(Kbps\) from rateMbps \(Mbps\)"
+	_ = windowKbps
+	// Routing through an explicit conversion launders the unit.
+	s.RateKbps = KbpsFromMbps(rateMbps)
+	s.rxBytes = s.rxBytes + 1200
+}
+`,
+	})
+}
+
+// TestUnitsWholeNameAndSuffixes: bare lowercase names like mbps carry a
+// unit; BytesPerSec beats the shorter Bytes suffix; neutral names mix with
+// anything.
+func TestUnitsWholeNameAndSuffixes(t *testing.T) {
+	runFixture(t, Units, "example.com/bw", map[string]string{
+		"bw.go": `package bw
+
+func Clamp(mbps float64, limitBytesPerSec float64, budget float64) float64 {
+	if mbps > limitBytesPerSec { // want "unit mismatch: mbps \(Mbps\) > limitBytesPerSec \(bytes/sec\)"
+		return limitBytesPerSec
+	}
+	// budget has no declared unit, so it can meet anything.
+	return mbps + budget
+}
+`,
+	})
+}
+
+// TestUnitsLineAllow: a justified directive silences a deliberate mix (e.g.
+// a heuristic score combining scales).
+func TestUnitsLineAllow(t *testing.T) {
+	runFixture(t, Units, "example.com/bw", map[string]string{
+		"bw.go": `package bw
+
+func Score(rateMbps, queueBytes float64) float64 {
+	return rateMbps + queueBytes //lint:allow units dimensionless congestion score, see DESIGN.md
+}
+`,
+	})
+}

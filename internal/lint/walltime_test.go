@@ -1,0 +1,111 @@
+package lint
+
+import "testing"
+
+// TestWalltimePositive: wall-clock reads in an unannotated (virtual-time)
+// package are flagged; derived values and non-time packages are not.
+func TestWalltimePositive(t *testing.T) {
+	runFixture(t, Walltime, "example.com/sim", map[string]string{
+		"sim.go": `package sim
+
+import "time"
+
+func Step(clock func() time.Time) time.Time {
+	start := time.Now() // want "wall-clock time.Now in a virtual-time package"
+	time.Sleep(time.Millisecond) // want "wall-clock time.Sleep"
+	_ = time.Since(start)        // want "wall-clock time.Since"
+	t := time.NewTimer(time.Second) // want "wall-clock time.NewTimer"
+	t.Stop()
+	// Injected clocks and pure time arithmetic are the approved pattern.
+	at := clock()
+	return at.Add(10 * time.Millisecond)
+}
+`,
+	})
+}
+
+// TestWalltimeAliasImport: renaming the import does not evade the check —
+// resolution goes through go/types, not the literal identifier.
+func TestWalltimeAliasImport(t *testing.T) {
+	runFixture(t, Walltime, "example.com/sim", map[string]string{
+		"sim.go": `package sim
+
+import stdtime "time"
+
+func Leak() int64 {
+	return stdtime.Now().UnixNano() // want "wall-clock time.Now"
+}
+`,
+	})
+}
+
+// TestWalltimeShadowedIdent: a local variable named time is not the time
+// package; no diagnostics.
+func TestWalltimeShadowedIdent(t *testing.T) {
+	runFixture(t, Walltime, "example.com/sim", map[string]string{
+		"sim.go": `package sim
+
+type fakeClock struct{}
+
+func (fakeClock) Now() int64 { return 0 }
+
+func Step() int64 {
+	time := fakeClock{}
+	return time.Now()
+}
+`,
+	})
+}
+
+// TestWalltimePackageAllow: a package-level directive in the package doc
+// block silences the analyzer for the whole package.
+func TestWalltimePackageAllow(t *testing.T) {
+	runFixture(t, Walltime, "example.com/rt", map[string]string{
+		"rt.go": `// Package rt talks to real sockets.
+//
+//lint:allow walltime deployment-side package, paced against the wall clock
+package rt
+
+import "time"
+
+func Pace() time.Time {
+	time.Sleep(time.Millisecond)
+	return time.Now()
+}
+`,
+	})
+}
+
+// TestWalltimeLineAllow: a trailing or preceding directive silences exactly
+// one site; the rest of the package stays enforced.
+func TestWalltimeLineAllow(t *testing.T) {
+	runFixture(t, Walltime, "example.com/sim", map[string]string{
+		"sim.go": `package sim
+
+import "time"
+
+func Seed() int64 {
+	s := time.Now().UnixNano() //lint:allow walltime entropy for live test IDs
+	//lint:allow walltime entropy for live test IDs
+	s += time.Now().UnixNano()
+	s += time.Now().UnixNano() // want "wall-clock time.Now"
+	return s
+}
+`,
+	})
+}
+
+// TestDirectiveValidation: allows without reasons, with unknown analyzers,
+// or with a mangled verb are diagnostics, not silent no-ops.
+func TestDirectiveValidation(t *testing.T) {
+	runFixture(t, Walltime, "example.com/sim", map[string]string{
+		"sim.go": `package sim
+
+func a() {} //lint:allow walltime // want "without a reason"
+
+func b() {} //lint:allow warptime cosmic rays // want "unknown analyzer \"warptime\""
+
+func c() {} //lint:disable walltime because // want "malformed lint directive"
+`,
+	})
+}

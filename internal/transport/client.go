@@ -127,7 +127,7 @@ type UDPProbe struct {
 	started time.Time
 
 	mu       sync.Mutex
-	sessions []*clientSession
+	sessions []*clientSession // guarded by mu
 
 	rateSeq     atomic.Uint32
 	rxBytes     atomic.Int64

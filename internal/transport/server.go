@@ -7,6 +7,8 @@
 // emulator carry over to the wire. The server is intentionally cheap — a
 // read loop plus one pacing goroutine per active test — matching the paper's
 // point that Swiftest runs on small 100 Mbps budget VMs (§5.2/§5.3).
+//
+//lint:allow walltime deployment-side package paced against real sockets; the virtual-time counterpart is core+linksim
 package transport
 
 import (
@@ -56,7 +58,7 @@ type Server struct {
 	closed atomic.Bool
 
 	mu       sync.Mutex
-	sessions map[sessionKey]*session
+	sessions map[sessionKey]*session // guarded by mu
 
 	bytesSent atomic.Int64
 }
@@ -77,6 +79,8 @@ type session struct {
 }
 
 // NewServer starts a server on addr (e.g. "127.0.0.1:0"). Close releases it.
+//
+//lint:allow ctxflow the read loop's lifetime is bounded by Close, the standard lifecycle for long-lived servers
 func NewServer(addr string, cfg ServerConfig) (*Server, error) {
 	udpAddr, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
