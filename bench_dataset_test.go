@@ -1,0 +1,139 @@
+// Emitter for BENCH_dataset.json: a machine-readable before/after record of
+// the dataset-generation and analysis-aggregation performance work. Gated on
+// BENCH_DATASET_OUT so regular `go test ./...` runs never pay for it:
+//
+//	BENCH_DATASET_OUT=BENCH_dataset.json go test -run TestEmitBenchDataset .
+//
+// Baseline figures were measured on this repository at commit 853d8d7 (the
+// map-and-sort generator and per-call map aggregations) on the same container
+// class; current figures are measured live by this test via testing.Benchmark.
+package swiftest_test
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+
+	"github.com/mobilebandwidth/swiftest/internal/analysis"
+	"github.com/mobilebandwidth/swiftest/internal/dataset"
+	"github.com/mobilebandwidth/swiftest/internal/spectrum"
+)
+
+const benchDatasetRecords = 200_000 // all baselines below are per-200k-record pass
+
+// benchBaseline853d8d7 holds pre-optimisation timings at commit 853d8d7.
+var benchBaseline853d8d7 = struct {
+	genNsPerRecord float64
+	analysisMs     map[string]float64
+}{
+	genNsPerRecord: 357.1,
+	analysisMs: map[string]float64{
+		"AverageByTech":    3.757,
+		"ByAndroidVersion": 7.010,
+		"ByISP":            6.980,
+		"ByBand_LTE":       18.121,
+		"Diurnal_4G":       1.798,
+	},
+}
+
+type benchEntry struct {
+	BaselineMs float64 `json:"baseline_ms"`
+	CurrentMs  float64 `json:"current_ms"`
+	Speedup    float64 `json:"speedup"`
+}
+
+type benchReport struct {
+	Schema         string  `json:"schema"`
+	BaselineCommit string  `json:"baseline_commit"`
+	Records        int     `json:"records_per_pass"`
+	GOOS           string  `json:"goos"`
+	GOARCH         string  `json:"goarch"`
+	CPUs           int     `json:"cpus"`
+	Note           string  `json:"note"`
+	GenBaselineNs  float64 `json:"generation_baseline_ns_per_record"`
+	GenCurrentNs   float64 `json:"generation_current_ns_per_record"`
+	GenSpeedup     float64 `json:"generation_speedup_single_thread"`
+	// GenParallelNs maps worker count to ns/record through GenerateParallel;
+	// on a multi-core box these divide by core count, on a 1-CPU container
+	// they only show the sharding overhead is small.
+	GenParallelNs map[string]float64    `json:"generation_parallel_ns_per_record"`
+	Analysis      map[string]benchEntry `json:"analysis_per_200k"`
+}
+
+// TestEmitBenchDataset measures current generation/analysis throughput and
+// writes BENCH_dataset.json next to the baselines captured before this work.
+func TestEmitBenchDataset(t *testing.T) {
+	out := os.Getenv("BENCH_DATASET_OUT")
+	if out == "" {
+		t.Skip("set BENCH_DATASET_OUT=<path> to emit the benchmark report")
+	}
+
+	gen := dataset.MustNewGenerator(dataset.Config{Year: 2021, Seed: 1})
+	recs := gen.Generate(benchDatasetRecords)
+
+	msPerOp := func(f func()) float64 {
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				f()
+			}
+		})
+		return float64(r.NsPerOp()) / 1e6
+	}
+
+	genNs := msPerOp(func() { gen.Generate(benchDatasetRecords) }) * 1e6 / benchDatasetRecords
+	parallelNs := map[string]float64{}
+	for _, w := range []int{1, 2, 4} {
+		ns := msPerOp(func() { gen.GenerateParallel(benchDatasetRecords, w) }) * 1e6 / benchDatasetRecords
+		parallelNs[workersKey(w)] = round3(ns)
+	}
+
+	analysisMs := map[string]float64{
+		"AverageByTech":    msPerOp(func() { analysis.AverageByTech(recs) }),
+		"ByAndroidVersion": msPerOp(func() { analysis.ByAndroidVersion(recs) }),
+		"ByISP":            msPerOp(func() { analysis.ByISP(recs) }),
+		"ByBand_LTE":       msPerOp(func() { analysis.ByBand(recs, spectrum.LTE) }),
+		"Diurnal_4G":       msPerOp(func() { analysis.Diurnal(recs, dataset.Tech4G) }),
+	}
+
+	rep := benchReport{
+		Schema:         "swiftest-bench-dataset/v1",
+		BaselineCommit: "853d8d7",
+		Records:        benchDatasetRecords,
+		GOOS:           runtime.GOOS,
+		GOARCH:         runtime.GOARCH,
+		CPUs:           runtime.NumCPU(),
+		Note: "baseline and current measured on the same container class; " +
+			"parallel speedups scale with cores and are overhead-only on a 1-CPU box",
+		GenBaselineNs: benchBaseline853d8d7.genNsPerRecord,
+		GenCurrentNs:  round3(genNs),
+		GenSpeedup:    round3(benchBaseline853d8d7.genNsPerRecord / genNs),
+		GenParallelNs: parallelNs,
+		Analysis:      map[string]benchEntry{},
+	}
+	for name, base := range benchBaseline853d8d7.analysisMs {
+		cur := analysisMs[name]
+		rep.Analysis[name] = benchEntry{
+			BaselineMs: base,
+			CurrentMs:  round3(cur),
+			Speedup:    round3(base / cur),
+		}
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatalf("marshal report: %v", err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatalf("write %s: %v", out, err)
+	}
+	t.Logf("wrote %s: generation %.1f ns/rec (%.2fx), ByBand %.2fx", out,
+		genNs, benchBaseline853d8d7.genNsPerRecord/genNs,
+		benchBaseline853d8d7.analysisMs["ByBand_LTE"]/analysisMs["ByBand_LTE"])
+}
+
+func workersKey(w int) string { return "workers=" + string(rune('0'+w)) }
+
+func round3(x float64) float64 {
+	return float64(int64(x*1000+0.5)) / 1000
+}

@@ -7,6 +7,7 @@
 package swiftest_test
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 	"time"
@@ -636,6 +637,52 @@ func BenchmarkAblationDSS(b *testing.B) {
 	}
 	b.ReportMetric(st*100, "static_served_pct")
 	b.ReportMetric(dy*100, "dss_served_pct")
+}
+
+// --- generate→aggregate engine benches -------------------------------------
+
+// BenchmarkGenThroughput measures dataset generation: the serial stream and
+// the sharded deterministic parallel stream at several worker counts.
+func BenchmarkGenThroughput(b *testing.B) {
+	b.Run("serial", func(b *testing.B) {
+		g := dataset.MustNewGenerator(dataset.Config{Year: 2021, Seed: 1})
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if len(g.Generate(benchRecords)) != benchRecords {
+				b.Fatal("short generate")
+			}
+		}
+		b.ReportMetric(float64(benchRecords)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mrec/s")
+	})
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("parallel/workers=%d", workers), func(b *testing.B) {
+			g := dataset.MustNewGenerator(dataset.Config{Year: 2021, Seed: 1})
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if len(g.GenerateParallel(benchRecords, workers)) != benchRecords {
+					b.Fatal("short generate")
+				}
+			}
+			b.ReportMetric(float64(benchRecords)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mrec/s")
+		})
+	}
+}
+
+// BenchmarkAggPipeline measures the single-pass Study aggregation — every
+// figure's state in one traversal — serial and fanned out.
+func BenchmarkAggPipeline(b *testing.B) {
+	recs := genRecords(b, 2021)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				study := analysis.Fanout(recs, workers, analysis.NewStudy)
+				if study.Tech.Snapshot().Count[dataset.TechWiFi] == 0 {
+					b.Fatal("empty study")
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkWireThroughput measures the UDP message encode/decode hot path.

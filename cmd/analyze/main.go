@@ -6,7 +6,10 @@
 //
 // Usage:
 //
-//	analyze -i records.jsonl [-report tech|bands|diurnal|rss|wifi|models|all]
+//	analyze -i records.jsonl [-report tech|bands|diurnal|rss|wifi|models|all] [-workers 0]
+//
+// All figure-level reports are computed from one single-pass Study
+// aggregation, fanned out across -workers shards and merged.
 package main
 
 import (
@@ -27,16 +30,17 @@ func main() {
 	in := flag.String("i", "-", "input JSONL file (\"-\" for stdin)")
 	report := flag.String("report", "all", "report: tech, bands, diurnal, rss, wifi, models or all")
 	seed := flag.Int64("seed", 1, "RNG seed for model fitting")
+	workers := flag.Int("workers", 0, "aggregation workers (0 = GOMAXPROCS)")
 	modelsOut := flag.String("models-out", "", "directory to write fitted bandwidth models as JSON (for swiftest test -model)")
 	flag.Parse()
 
-	if err := run(*in, *report, *seed, *modelsOut); err != nil {
+	if err := run(*in, *report, *seed, *workers, *modelsOut); err != nil {
 		fmt.Fprintln(os.Stderr, "analyze:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, report string, seed int64, modelsOut string) error {
+func run(in, report string, seed int64, workers int, modelsOut string) error {
 	r := os.Stdin
 	if in != "-" {
 		f, err := os.Open(in)
@@ -55,21 +59,23 @@ func run(in, report string, seed int64, modelsOut string) error {
 	}
 	fmt.Printf("%d records\n", len(records))
 
+	study := analysis.Fanout(records, workers, analysis.NewStudy)
+
 	all := report == "all"
 	if all || report == "tech" {
-		reportTech(records)
+		reportTech(study)
 	}
 	if all || report == "bands" {
-		reportBands(records)
+		reportBands(study)
 	}
 	if all || report == "diurnal" {
-		reportDiurnal(records)
+		reportDiurnal(study)
 	}
 	if all || report == "rss" {
-		reportRSS(records)
+		reportRSS(study)
 	}
 	if all || report == "wifi" {
-		reportWiFi(records)
+		reportWiFi(study)
 	}
 	if all || report == "models" {
 		if err := reportModels(records, seed, modelsOut); err != nil {
@@ -79,16 +85,16 @@ func run(in, report string, seed int64, modelsOut string) error {
 	return nil
 }
 
-func reportTech(records []dataset.Record) {
+func reportTech(study *analysis.Study) {
 	fmt.Println("\n# per-technology averages (Figure 1)")
-	avg := analysis.AverageByTech(records)
+	avg := study.Tech.Snapshot()
 	for _, tech := range []dataset.Tech{dataset.Tech3G, dataset.Tech4G, dataset.Tech5G, dataset.TechWiFi} {
 		if n := avg.Count[tech]; n > 0 {
 			fmt.Printf("%-5s mean %7.1f Mbps over %d tests\n", tech, avg.Mean[tech], n)
 		}
 	}
 	for _, tech := range []dataset.Tech{dataset.Tech4G, dataset.Tech5G} {
-		d := analysis.TechDistribution(records, tech)
+		d := study.Dist.Snapshot(tech)
 		if d.Count == 0 {
 			continue
 		}
@@ -98,10 +104,10 @@ func reportTech(records []dataset.Record) {
 	}
 }
 
-func reportBands(records []dataset.Record) {
+func reportBands(study *analysis.Study) {
 	fmt.Println("\n# per-band statistics (Figures 5/6 and 8/9)")
 	for _, gen := range []spectrum.Generation{spectrum.LTE, spectrum.NR} {
-		rows := analysis.ByBand(records, gen)
+		rows := study.Band.Snapshot(gen)
 		chart := plot.BarChart{Unit: "Mbps", Width: 36}
 		for _, br := range rows {
 			if br.Count == 0 {
@@ -114,14 +120,14 @@ func reportBands(records []dataset.Record) {
 		}
 		fmt.Print(chart.Render())
 	}
-	h, top, name := analysis.HBandShare(analysis.ByBand(records, spectrum.LTE))
+	h, top, name := analysis.HBandShare(study.Band.Snapshot(spectrum.LTE))
 	fmt.Printf("LTE H-band share %.1f %%, busiest band %s (%.0f %%)\n", 100*h, name, 100*top)
 }
 
-func reportDiurnal(records []dataset.Record) {
+func reportDiurnal(study *analysis.Study) {
 	fmt.Println("\n# 5G diurnal pattern (Figure 10)")
 	var loads, means []float64
-	for _, row := range analysis.Diurnal(records, dataset.Tech5G) {
+	for _, row := range study.Diurnal.Snapshot(dataset.Tech5G) {
 		if row.Tests == 0 {
 			continue
 		}
@@ -133,19 +139,19 @@ func reportDiurnal(records []dataset.Record) {
 	fmt.Printf("bandwidth by hour %s\n", plot.Sparkline(means))
 }
 
-func reportRSS(records []dataset.Record) {
+func reportRSS(study *analysis.Study) {
 	fmt.Println("\n# RSS level vs SNR and bandwidth (Figures 11/12)")
-	rows5 := analysis.ByRSSLevel(records, dataset.Tech5G)
-	rows4 := analysis.ByRSSLevel(records, dataset.Tech4G)
+	rows5 := study.RSS.Snapshot(dataset.Tech5G)
+	rows4 := study.RSS.Snapshot(dataset.Tech4G)
 	for i := range rows5 {
 		fmt.Printf("level %d  SNR %5.1f dB  5G %6.1f Mbps  4G %6.1f Mbps\n",
 			rows5[i].Level, rows5[i].MeanSNR, rows5[i].MeanBW, rows4[i].MeanBW)
 	}
 }
 
-func reportWiFi(records []dataset.Record) {
+func reportWiFi(study *analysis.Study) {
 	fmt.Println("\n# WiFi by standard and radio (Figures 13–15)")
-	all := analysis.WiFiDistributions(records, nil)
+	all := study.WiFi.Snapshot()
 	for _, std := range []int{4, 5, 6} {
 		if d, ok := all.ByStandard[std]; ok {
 			fmt.Printf("WiFi %d  mean %6.1f  median %6.1f  max %7.1f  (%d tests)\n",
@@ -153,8 +159,8 @@ func reportWiFi(records []dataset.Record) {
 		}
 	}
 	fmt.Printf("≤200 Mbps broadband plans: %.0f %% overall, %.0f %% among WiFi 6 users\n",
-		100*analysis.PlanShareAtOrBelow(records, 200, 0),
-		100*analysis.PlanShareAtOrBelow(records, 200, 6))
+		100*study.WiFi.PlanShareAtOrBelow(200, 0),
+		100*study.WiFi.PlanShareAtOrBelow(200, 6))
 }
 
 func reportModels(records []dataset.Record, seed int64, modelsOut string) error {

@@ -4,10 +4,12 @@
 //
 // Usage:
 //
-//	btsbench [-quick] [-seed N] [-only fig12,fig22,cost]
+//	btsbench [-quick] [-seed N] [-workers 0] [-only fig12,fig22,cost]
 //
 // Without -only it runs all experiments in order. -quick shrinks record
-// counts and campaign sizes for a fast smoke run.
+// counts and campaign sizes for a fast smoke run. The corpus comes from the
+// sharded deterministic generator, so -workers changes only how fast it is
+// built, never its contents.
 //
 //lint:allow walltime benchmark harness reports real elapsed time
 package main
@@ -35,10 +37,11 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "small record counts and campaigns")
 	seed := flag.Int64("seed", 1, "base RNG seed")
+	workers := flag.Int("workers", 0, "corpus generation workers (0 = GOMAXPROCS); contents are worker-invariant")
 	only := flag.String("only", "", "comma-separated experiment ids (e.g. fig1,fig22,cost)")
 	flag.Parse()
 
-	r := &runner{seed: *seed}
+	r := &runner{seed: *seed, workers: *workers}
 	if *quick {
 		r.records = 150000
 		r.pairN = 40
@@ -100,6 +103,7 @@ func main() {
 
 type runner struct {
 	seed      int64
+	workers   int
 	records   int
 	pairN     int
 	threeWayN int
@@ -111,8 +115,10 @@ type runner struct {
 
 func (r *runner) corpus() ([]dataset.Record, []dataset.Record) {
 	if r.recs21 == nil {
-		r.recs21 = dataset.MustNewGenerator(dataset.Config{Year: 2021, Seed: r.seed}).Generate(r.records)
-		r.recs20 = dataset.MustNewGenerator(dataset.Config{Year: 2020, Seed: r.seed + 1}).Generate(r.records / 2)
+		r.recs21 = dataset.MustNewGenerator(dataset.Config{Year: 2021, Seed: r.seed}).
+			GenerateParallel(r.records, r.workers)
+		r.recs20 = dataset.MustNewGenerator(dataset.Config{Year: 2020, Seed: r.seed + 1}).
+			GenerateParallel(r.records/2, r.workers)
 	}
 	return r.recs20, r.recs21
 }

@@ -2,9 +2,14 @@
 // stand-in for the paper's 23.6M-test corpus, calibrated to every finding of
 // §3 (see internal/dataset). The output feeds cmd/analyze.
 //
+// Generation and encoding are sharded: record i always comes from shard
+// i/ShardSize of the seed's deterministic stream, so the output bytes depend
+// only on (-n, -year, -seed) — never on -workers, which is purely a
+// throughput knob.
+//
 // Usage:
 //
-//	datasetgen [-n 1000000] [-year 2021] [-seed 1] [-o records.jsonl]
+//	datasetgen [-n 1000000] [-year 2021] [-seed 1] [-workers 0] [-o records.jsonl]
 package main
 
 import (
@@ -19,16 +24,17 @@ func main() {
 	n := flag.Int("n", 1_000_000, "number of records to generate")
 	year := flag.Int("year", 2021, "measurement year (2020 or 2021)")
 	seed := flag.Int64("seed", 1, "RNG seed")
+	workers := flag.Int("workers", 0, "generation workers (0 = GOMAXPROCS); output is identical for any value")
 	out := flag.String("o", "-", "output file (\"-\" for stdout)")
 	flag.Parse()
 
-	if err := run(*n, *year, *seed, *out); err != nil {
+	if err := run(*n, *year, *seed, *workers, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "datasetgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(n, year int, seed int64, out string) error {
+func run(n, year int, seed int64, workers int, out string) error {
 	gen, err := dataset.NewGenerator(dataset.Config{Year: year, Seed: seed})
 	if err != nil {
 		return err
@@ -42,17 +48,19 @@ func run(n, year int, seed int64, out string) error {
 		defer f.Close()
 		w = f
 	}
-	// Stream in batches to bound memory for very large n.
-	const batch = 100_000
-	for remaining := n; remaining > 0; {
+	// Stream in shard-aligned batches to bound memory for very large n:
+	// each batch is generated and JSON-encoded in parallel, then written in
+	// order.
+	const batch = 16 * dataset.ShardSize
+	for off := 0; off < n; off += batch {
 		size := batch
-		if remaining < size {
-			size = remaining
+		if n-off < size {
+			size = n - off
 		}
-		if err := dataset.WriteJSONL(w, gen.Generate(size)); err != nil {
+		records := gen.GenerateRange(off, size, workers)
+		if err := dataset.WriteJSONLParallel(w, records, workers); err != nil {
 			return err
 		}
-		remaining -= size
 	}
 	if out != "-" {
 		fmt.Fprintf(os.Stderr, "wrote %d records for %d to %s\n", n, year, out)

@@ -14,7 +14,6 @@ package analysis
 import (
 	"fmt"
 	"math/rand"
-	"sort"
 
 	"github.com/mobilebandwidth/swiftest/internal/dataset"
 	"github.com/mobilebandwidth/swiftest/internal/gmm"
@@ -31,34 +30,21 @@ type TechAverages struct {
 
 // AverageByTech computes mean bandwidth per technology.
 func AverageByTech(records []dataset.Record) TechAverages {
-	sums := map[dataset.Tech]float64{}
-	counts := map[dataset.Tech]int{}
+	a := NewTechAgg()
 	for _, r := range records {
-		sums[r.Tech] += r.BandwidthMbps
-		counts[r.Tech]++
+		a.Observe(r)
 	}
-	out := TechAverages{Mean: map[dataset.Tech]float64{}, Count: counts}
-	for tech, s := range sums {
-		out.Mean[tech] = s / float64(counts[tech])
-	}
-	return out
+	return a.Snapshot()
 }
 
 // CellularAverage reports the blended 2G–5G average of §3.1 (117 Mbps in
 // 2020 vs 135 Mbps in 2021).
 func CellularAverage(records []dataset.Record) float64 {
-	var sum float64
-	var n int
+	a := NewTechAgg()
 	for _, r := range records {
-		if r.Tech != dataset.TechWiFi {
-			sum += r.BandwidthMbps
-			n++
-		}
+		a.Observe(r)
 	}
-	if n == 0 {
-		return 0
-	}
-	return sum / float64(n)
+	return a.CellularMean()
 }
 
 // VersionRow is one Android version's averages (Figure 2).
@@ -70,35 +56,11 @@ type VersionRow struct {
 
 // ByAndroidVersion computes per-version, per-technology averages (Figure 2).
 func ByAndroidVersion(records []dataset.Record) []VersionRow {
-	type acc struct {
-		sum map[dataset.Tech]float64
-		n   map[dataset.Tech]int
-	}
-	byVer := map[int]*acc{}
+	a := NewVersionAgg()
 	for _, r := range records {
-		a := byVer[r.AndroidVersion]
-		if a == nil {
-			a = &acc{sum: map[dataset.Tech]float64{}, n: map[dataset.Tech]int{}}
-			byVer[r.AndroidVersion] = a
-		}
-		a.sum[r.Tech] += r.BandwidthMbps
-		a.n[r.Tech]++
+		a.Observe(r)
 	}
-	versions := make([]int, 0, len(byVer))
-	for v := range byVer {
-		versions = append(versions, v)
-	}
-	sort.Ints(versions)
-	out := make([]VersionRow, 0, len(versions))
-	for _, v := range versions {
-		a := byVer[v]
-		row := VersionRow{Version: v, Mean: map[dataset.Tech]float64{}, Count: a.n}
-		for tech, s := range a.sum {
-			row.Mean[tech] = s / float64(a.n[tech])
-		}
-		out = append(out, row)
-	}
-	return out
+	return a.Snapshot()
 }
 
 // ISPRow is one ISP's averages (Figure 3).
@@ -110,33 +72,11 @@ type ISPRow struct {
 
 // ByISP computes per-ISP, per-technology averages (Figure 3).
 func ByISP(records []dataset.Record) []ISPRow {
-	type acc struct {
-		sum map[dataset.Tech]float64
-		n   map[dataset.Tech]int
-	}
-	byISP := map[spectrum.ISP]*acc{}
+	a := NewISPAgg()
 	for _, r := range records {
-		a := byISP[r.ISP]
-		if a == nil {
-			a = &acc{sum: map[dataset.Tech]float64{}, n: map[dataset.Tech]int{}}
-			byISP[r.ISP] = a
-		}
-		a.sum[r.Tech] += r.BandwidthMbps
-		a.n[r.Tech]++
+		a.Observe(r)
 	}
-	out := make([]ISPRow, 0, 4)
-	for _, isp := range []spectrum.ISP{spectrum.ISP1, spectrum.ISP2, spectrum.ISP3, spectrum.ISP4} {
-		a := byISP[isp]
-		if a == nil {
-			continue
-		}
-		row := ISPRow{ISP: isp, Mean: map[dataset.Tech]float64{}, Count: a.n}
-		for tech, s := range a.sum {
-			row.Mean[tech] = s / float64(a.n[tech])
-		}
-		out = append(out, row)
-	}
-	return out
+	return a.Snapshot()
 }
 
 // Distribution summarises one technology's bandwidth distribution
@@ -192,13 +132,13 @@ func distribute(values []float64) Distribution {
 // TechDistribution computes the bandwidth distribution of one technology
 // (Figure 4 for 4G, Figure 7 for 5G).
 func TechDistribution(records []dataset.Record, tech dataset.Tech) Distribution {
-	var xs []float64
+	a := NewDistAgg()
 	for _, r := range records {
-		if r.Tech == tech {
-			xs = append(xs, r.BandwidthMbps)
+		if r.Tech == tech { // collect only the requested technology
+			a.Observe(r)
 		}
 	}
-	return distribute(xs)
+	return a.Snapshot(tech)
 }
 
 // BandRow is one frequency band's statistics (Figures 5/6 for LTE, 8/9 for
@@ -214,33 +154,11 @@ type BandRow struct {
 // ByBand computes per-band counts and means for one cellular generation,
 // ordered by downlink spectrum as in the paper's figures.
 func ByBand(records []dataset.Record, gen spectrum.Generation) []BandRow {
-	sums := map[string]float64{}
-	counts := map[string]int{}
+	a := NewBandAgg()
 	for _, r := range records {
-		if r.Tech != dataset.Tech4G && r.Tech != dataset.Tech5G {
-			continue
-		}
-		b, ok := spectrum.ByName(r.Band)
-		if !ok || b.Gen != gen {
-			continue
-		}
-		sums[r.Band] += r.BandwidthMbps
-		counts[r.Band]++
+		a.Observe(r)
 	}
-	table := spectrum.LTEBands()
-	if gen == spectrum.NR {
-		table = spectrum.NRBands()
-	}
-	var out []BandRow
-	for _, b := range table {
-		n := counts[b.Name]
-		row := BandRow{Band: b, Count: n, HBand: b.IsHBand(), Biased: n > 0 && n < 30}
-		if n > 0 {
-			row.Mean = sums[b.Name] / float64(n)
-		}
-		out = append(out, row)
-	}
-	return out
+	return a.Snapshot(gen)
 }
 
 // HBandShare reports the fraction of 4G tests carried by H-Bands (§3.2:
@@ -272,22 +190,13 @@ type DiurnalRow struct {
 
 // Diurnal computes per-hour test counts and mean bandwidth for a technology.
 func Diurnal(records []dataset.Record, tech dataset.Tech) []DiurnalRow {
-	sums := make([]float64, 24)
-	counts := make([]int, 24)
+	a := NewDiurnalAgg()
 	for _, r := range records {
-		if r.Tech == tech {
-			sums[r.Hour] += r.BandwidthMbps
-			counts[r.Hour]++
+		if r.Tech == tech { // the other technologies' cells go unread
+			a.Observe(r)
 		}
 	}
-	out := make([]DiurnalRow, 24)
-	for h := 0; h < 24; h++ {
-		out[h] = DiurnalRow{Hour: h, Tests: counts[h]}
-		if counts[h] > 0 {
-			out[h].Mean = sums[h] / float64(counts[h])
-		}
-	}
-	return out
+	return a.Snapshot(tech)
 }
 
 // RSSRow is one RSS level's statistics (Figures 11 and 12).
@@ -301,27 +210,13 @@ type RSSRow struct {
 // ByRSSLevel computes per-RSS-level SNR and bandwidth averages for a
 // technology.
 func ByRSSLevel(records []dataset.Record, tech dataset.Tech) []RSSRow {
-	snr := make([]float64, 6)
-	bw := make([]float64, 6)
-	n := make([]int, 6)
+	a := NewRSSAgg()
 	for _, r := range records {
-		if r.Tech != tech || r.RSSLevel < 1 || r.RSSLevel > 5 {
-			continue
+		if r.Tech == tech { // the other technologies' cells go unread
+			a.Observe(r)
 		}
-		snr[r.RSSLevel] += r.SNRdB
-		bw[r.RSSLevel] += r.BandwidthMbps
-		n[r.RSSLevel]++
 	}
-	out := make([]RSSRow, 0, 5)
-	for lvl := 1; lvl <= 5; lvl++ {
-		row := RSSRow{Level: lvl, Count: n[lvl]}
-		if n[lvl] > 0 {
-			row.MeanSNR = snr[lvl] / float64(n[lvl])
-			row.MeanBW = bw[lvl] / float64(n[lvl])
-		}
-		out = append(out, row)
-	}
-	return out
+	return a.Snapshot(tech)
 }
 
 // WiFiBreakdown holds per-standard distributions, optionally filtered by
@@ -333,44 +228,22 @@ type WiFiBreakdown struct {
 // WiFiDistributions computes per-standard WiFi bandwidth distributions.
 // radio filters to one radio band; pass nil for all (Figure 13).
 func WiFiDistributions(records []dataset.Record, radio *dataset.RadioBand) WiFiBreakdown {
-	values := map[int][]float64{}
+	a := NewWiFiAgg(radio)
 	for _, r := range records {
-		if r.Tech != dataset.TechWiFi {
-			continue
-		}
-		if radio != nil && r.WiFiRadio != *radio {
-			continue
-		}
-		values[r.WiFiStandard] = append(values[r.WiFiStandard], r.BandwidthMbps)
+		a.Observe(r)
 	}
-	out := WiFiBreakdown{ByStandard: map[int]Distribution{}}
-	for std, xs := range values {
-		out.ByStandard[std] = distribute(xs)
-	}
-	return out
+	return a.Snapshot()
 }
 
 // PlanShareAtOrBelow reports the fraction of WiFi tests whose broadband plan
 // is ≤ mbps (§3.4: ~64 % of WiFi customers on ≤200 Mbps plans). filter
 // restricts by standard (0 = all).
 func PlanShareAtOrBelow(records []dataset.Record, mbps float64, standard int) float64 {
-	var n, below int
+	a := NewWiFiAgg(nil)
 	for _, r := range records {
-		if r.Tech != dataset.TechWiFi {
-			continue
-		}
-		if standard != 0 && r.WiFiStandard != standard {
-			continue
-		}
-		n++
-		if r.PlanMbps <= mbps {
-			below++
-		}
+		a.Observe(r)
 	}
-	if n == 0 {
-		return 0
-	}
-	return float64(below) / float64(n)
+	return a.PlanShareAtOrBelow(mbps, standard)
 }
 
 // PDFResult is an estimated bandwidth probability density with a fitted

@@ -1,8 +1,6 @@
 package analysis
 
 import (
-	"math"
-
 	"github.com/mobilebandwidth/swiftest/internal/dataset"
 )
 
@@ -15,56 +13,21 @@ type SpatialRow struct {
 
 // ByCityTier computes per-tier, per-technology averages.
 func ByCityTier(records []dataset.Record) []SpatialRow {
-	type acc struct {
-		sum map[dataset.Tech]float64
-		n   map[dataset.Tech]int
-	}
-	tiers := map[dataset.CityTier]*acc{}
+	a := NewSpatialAgg()
 	for _, r := range records {
-		a := tiers[r.CityTier]
-		if a == nil {
-			a = &acc{sum: map[dataset.Tech]float64{}, n: map[dataset.Tech]int{}}
-			tiers[r.CityTier] = a
-		}
-		a.sum[r.Tech] += r.BandwidthMbps
-		a.n[r.Tech]++
+		a.Observe(r)
 	}
-	out := make([]SpatialRow, 0, 3)
-	for _, tier := range []dataset.CityTier{dataset.CityMega, dataset.CityMedium, dataset.CitySmall} {
-		a := tiers[tier]
-		if a == nil {
-			continue
-		}
-		row := SpatialRow{Tier: tier, Mean: map[dataset.Tech]float64{}, Count: a.n}
-		for tech, s := range a.sum {
-			row.Mean[tech] = s / float64(a.n[tech])
-		}
-		out = append(out, row)
-	}
-	return out
+	return a.ByCityTier()
 }
 
 // UrbanRuralRatio reports the urban-to-rural mean bandwidth ratio for a
 // technology (§3.1: 1.24 for 4G, 1.33 for 5G).
 func UrbanRuralRatio(records []dataset.Record, tech dataset.Tech) float64 {
-	var uSum, rSum float64
-	var uN, rN int
+	a := NewSpatialAgg()
 	for _, r := range records {
-		if r.Tech != tech {
-			continue
-		}
-		if r.Urban {
-			uSum += r.BandwidthMbps
-			uN++
-		} else {
-			rSum += r.BandwidthMbps
-			rN++
-		}
+		a.Observe(r)
 	}
-	if uN == 0 || rN == 0 || rSum == 0 {
-		return 0
-	}
-	return (uSum / float64(uN)) / (rSum / float64(rN))
+	return a.UrbanRuralRatio(tech)
 }
 
 // CityRange reports the lowest and highest per-city mean bandwidth for a
@@ -72,29 +35,11 @@ func UrbanRuralRatio(records []dataset.Record, tech dataset.Tech) float64 {
 // difference among the access bandwidths of 4G (28–119 Mbps), 5G (113–428
 // Mbps), and WiFi (83–256 Mbps)".
 func CityRange(records []dataset.Record, tech dataset.Tech, minTests int) (lo, hi float64, cities int) {
-	sums := map[int]float64{}
-	counts := map[int]int{}
+	a := NewSpatialAgg()
 	for _, r := range records {
-		if r.Tech != tech {
-			continue
-		}
-		sums[r.CityID] += r.BandwidthMbps
-		counts[r.CityID]++
+		a.Observe(r)
 	}
-	lo, hi = math.Inf(1), math.Inf(-1)
-	for id, n := range counts {
-		if n < minTests {
-			continue
-		}
-		mean := sums[id] / float64(n)
-		lo = math.Min(lo, mean)
-		hi = math.Max(hi, mean)
-		cities++
-	}
-	if cities == 0 {
-		return 0, 0, 0
-	}
-	return lo, hi, cities
+	return a.CityRange(tech, minTests)
 }
 
 // UnbalancedCityShare reports the fraction of cities whose 4G and 5G
@@ -103,55 +48,9 @@ func CityRange(records []dataset.Record, tech dataset.Tech, minTests int) (lo, h
 // development of 4G and 5G networks"). Only cities with at least minTests
 // tests in both technologies count.
 func UnbalancedCityShare(records []dataset.Record, minTests int) float64 {
-	type acc struct {
-		sum4, sum5 float64
-		n4, n5     int
-	}
-	cities := map[int]*acc{}
-	var nat4Sum, nat5Sum float64
-	var nat4N, nat5N int
+	a := NewSpatialAgg()
 	for _, r := range records {
-		switch r.Tech {
-		case dataset.Tech4G, dataset.Tech5G:
-		default:
-			continue
-		}
-		a := cities[r.CityID]
-		if a == nil {
-			a = &acc{}
-			cities[r.CityID] = a
-		}
-		if r.Tech == dataset.Tech4G {
-			a.sum4 += r.BandwidthMbps
-			a.n4++
-			nat4Sum += r.BandwidthMbps
-			nat4N++
-		} else {
-			a.sum5 += r.BandwidthMbps
-			a.n5++
-			nat5Sum += r.BandwidthMbps
-			nat5N++
-		}
+		a.Observe(r)
 	}
-	if nat4N == 0 || nat5N == 0 {
-		return 0
-	}
-	nat4 := nat4Sum / float64(nat4N)
-	nat5 := nat5Sum / float64(nat5N)
-	var eligible, unbalanced int
-	for _, a := range cities {
-		if a.n4 < minTests || a.n5 < minTests {
-			continue
-		}
-		eligible++
-		above4 := a.sum4/float64(a.n4) >= nat4
-		above5 := a.sum5/float64(a.n5) >= nat5
-		if above4 != above5 {
-			unbalanced++
-		}
-	}
-	if eligible == 0 {
-		return 0
-	}
-	return float64(unbalanced) / float64(eligible)
+	return a.UnbalancedCityShare(minTests)
 }

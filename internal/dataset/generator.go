@@ -21,21 +21,80 @@ type Config struct {
 
 // Generator produces synthetic measurement records. It is a stream: each
 // Next call draws one record. Not safe for concurrent use; create one
-// Generator per goroutine.
+// Generator per goroutine (Shard and GenerateParallel do exactly that,
+// sharing the read-only precomputed tables).
 type Generator struct {
 	cfg Config
 	rng *rand.Rand
 
-	// Normalised calibration state, precomputed per year.
-	rss4G, rss5G   []float64
-	hour4G, hour5G [24]float64
-	android        map[int]float64
-	androidOrder   []int
-	urban4G        [2]float64 // urban, rural
-	urban5G        [2]float64
-	urbanWiFi      [2]float64
-	lteBandNames   []string
-	nrBandNames    []string
+	// tab holds every sampling table, precomputed once in NewGenerator and
+	// immutable afterwards, so Next does zero sorting, zero map iteration
+	// and zero per-record summation. Shard clones share it.
+	tab *genTables
+}
+
+// bandTable is a cumulative-share sampling table over one ISP's bands, with
+// the per-band calibrated mean alongside so drawing a band costs one uniform
+// draw and one linear scan over at most a handful of entries.
+type bandTable struct {
+	names []string  // sorted for reproducibility
+	cum   []float64 // cumulative shares, accumulated in names order
+	total float64   // cum[len-1], kept explicit for the u*total draw
+	means []float64 // calibrated mean bandwidth per band (Mbps)
+}
+
+// cellTables bundles the per-technology cellular sampling state.
+type cellTables struct {
+	byISP [5]bandTable // indexed by spectrum.ISP (1–4)
+	shape *gmm.Model
+	rss   []float64
+	hour  [24]float64
+	urban [2]float64 // urban, rural
+}
+
+// genTables is the full precomputed sampling state of one (Year, Seed)
+// calibration. Read-only after newGenTables; safe to share across the
+// goroutines GenerateParallel spawns.
+type genTables struct {
+	// Technology split within cellular (cumulative).
+	cum3G, cum4G float64
+
+	// Diurnal arrival (cumulative over hourlyLoad5G).
+	hourCum   [24]float64
+	hourTotal float64
+
+	// Android version draw (cumulative over sorted versions) and the
+	// normalised per-version bandwidth factor, dense by version.
+	androidOrder []int
+	androidCum   []float64
+	androidF     [16]float64
+
+	// ISP draws (cumulative in ISP1..ISP4 order).
+	isp4GCum   [4]float64
+	isp5GCum   [4]float64
+	ispWiFiCum [4]float64
+
+	lte, nr cellTables
+
+	// RSS level draw (cumulative over rssLevels shares).
+	rssCum [5]float64
+
+	// WiFi draws: standard split, 2.4 GHz share and plan mix by standard,
+	// radio capability models by (standard, radio).
+	wifiStdCum4  float64
+	wifiStdCum45 float64
+	wifi24       [7]float64
+	planCum      [7][]float64
+	radioCap     [7][2]*gmm.Model
+	urbanWiFi    [2]float64
+
+	// Deterministic per-entity factors, hoisted out of the record loop:
+	// the Irwin–Hall hash walk behind deviceBias/cityFactor costs ~12
+	// hashes per call, so it runs once per entity here instead of once per
+	// record.
+	deviceBiasTab []float64 // by device model
+	cityF4        []float64 // by city, Tech4G
+	cityF5        []float64 // by city, Tech5G
 }
 
 // NewGenerator returns a generator for cfg. Year must be 2020 or 2021.
@@ -43,31 +102,11 @@ func NewGenerator(cfg Config) (*Generator, error) {
 	if cfg.Year != 2020 && cfg.Year != 2021 {
 		return nil, fmt.Errorf("dataset: year %d not calibrated (2020 or 2021)", cfg.Year)
 	}
-	g := &Generator{
-		cfg:     cfg,
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
-		rss4G:   normalizedRSS(Tech4G),
-		rss5G:   normalizedRSS(Tech5G),
-		hour4G:  normalizedHourFactor(hourFactor4G, hourlyLoad5G),
-		hour5G:  normalizedHourFactor(hourFactor5G, hourlyLoad5G),
-		android: normalizedAndroid(cfg.Year),
-	}
-	g.urban4G[0], g.urban4G[1] = normalizedUrban(Tech4G)
-	g.urban5G[0], g.urban5G[1] = normalizedUrban(Tech5G)
-	g.urbanWiFi[0], g.urbanWiFi[1] = normalizedUrban(TechWiFi)
-	for v := range g.android {
-		g.androidOrder = append(g.androidOrder, v)
-	}
-	sort.Ints(g.androidOrder)
-	for name := range lteBands[cfg.Year] {
-		g.lteBandNames = append(g.lteBandNames, name)
-	}
-	sort.Strings(g.lteBandNames)
-	for name := range nrBands[cfg.Year] {
-		g.nrBandNames = append(g.nrBandNames, name)
-	}
-	sort.Strings(g.nrBandNames)
-	return g, nil
+	return &Generator{
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+		tab: newGenTables(cfg.Year),
+	}, nil
 }
 
 // MustNewGenerator is NewGenerator, panicking on error.
@@ -79,7 +118,126 @@ func MustNewGenerator(cfg Config) *Generator {
 	return g
 }
 
-// Generate draws n records.
+// newGenTables precomputes every sampling table for a calibrated year. All
+// cumulative sums accumulate in the same order the previous per-record code
+// did, so the draw outcomes — and therefore the record streams — are
+// bit-identical to the pre-table generator.
+func newGenTables(year int) *genTables {
+	t := &genTables{}
+
+	shares := techSharesWithinCellular[year]
+	t.cum3G = shares[Tech3G]
+	t.cum4G = shares[Tech3G] + shares[Tech4G]
+
+	var acc float64
+	for h, w := range hourlyLoad5G {
+		acc += w
+		t.hourCum[h] = acc
+	}
+	t.hourTotal = acc
+
+	android := normalizedAndroid(year)
+	for v := range android {
+		t.androidOrder = append(t.androidOrder, v)
+	}
+	sort.Ints(t.androidOrder)
+	aShares := androidShares[year]
+	acc = 0
+	for _, v := range t.androidOrder {
+		acc += aShares[v]
+		t.androidCum = append(t.androidCum, acc)
+		t.androidF[v] = android[v]
+	}
+
+	ispCum := func(shares map[spectrum.ISP]float64) (out [4]float64) {
+		var acc float64
+		for i, isp := range []spectrum.ISP{spectrum.ISP1, spectrum.ISP2, spectrum.ISP3, spectrum.ISP4} {
+			acc += shares[isp]
+			out[i] = acc
+		}
+		return out
+	}
+	t.isp4GCum = ispCum(cellISPShares[Tech4G])
+	t.isp5GCum = ispCum(cellISPShares[Tech5G])
+	t.ispWiFiCum = ispCum(wifiISPShares)
+
+	t.lte = cellTables{
+		shape: lteShape,
+		rss:   normalizedRSS(Tech4G),
+		hour:  normalizedHourFactor(hourFactor4G, hourlyLoad5G),
+	}
+	t.lte.urban[0], t.lte.urban[1] = normalizedUrban(Tech4G)
+	t.nr = cellTables{
+		shape: nrShape,
+		rss:   normalizedRSS(Tech5G),
+		hour:  normalizedHourFactor(hourFactor5G, hourlyLoad5G),
+	}
+	t.nr.urban[0], t.nr.urban[1] = normalizedUrban(Tech5G)
+	for isp, shares := range ispLTEBands {
+		t.lte.byISP[isp] = newBandTable(shares, lteBands[year])
+	}
+	for isp, shares := range ispNRBands {
+		t.nr.byISP[isp] = newBandTable(shares, nrBands[year])
+	}
+
+	acc = 0
+	for i, l := range rssLevels {
+		acc += l.share
+		t.rssCum[i] = acc
+	}
+
+	stdShares := wifiStandardShares[year]
+	t.wifiStdCum4 = stdShares[4]
+	t.wifiStdCum45 = stdShares[4] + stdShares[5]
+	for std := 4; std <= 6; std++ {
+		t.wifi24[std] = wifi24Share[std]
+		var acc float64
+		for _, s := range wifiPlanShares[std] {
+			acc += s
+			t.planCum[std] = append(t.planCum[std], acc)
+		}
+		for radio, m := range wifiRadioCap[std] {
+			t.radioCap[std][radio] = m
+		}
+	}
+	t.urbanWiFi[0], t.urbanWiFi[1] = normalizedUrban(TechWiFi)
+
+	t.deviceBiasTab = make([]float64, NumDeviceModels)
+	for m := range t.deviceBiasTab {
+		t.deviceBiasTab[m] = deviceBias(m)
+	}
+	t.cityF4 = make([]float64, NumCities)
+	t.cityF5 = make([]float64, NumCities)
+	for c := range t.cityF4 {
+		t.cityF4[c] = cityFactor(c, Tech4G)
+		t.cityF5[c] = cityFactor(c, Tech5G)
+	}
+	return t
+}
+
+// newBandTable builds the cumulative band-draw table for one ISP,
+// accumulating shares over the sorted band names exactly as the per-record
+// sort used to.
+func newBandTable(shares map[string]float64, stats map[string]bandStat) bandTable {
+	names := make([]string, 0, len(shares))
+	for n := range shares {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	t := bandTable{names: names}
+	for _, n := range names {
+		t.total += shares[n]
+		t.cum = append(t.cum, t.total)
+		stat, ok := stats[n]
+		if !ok {
+			stat = bandStat{mean: 50}
+		}
+		t.means = append(t.means, stat.mean)
+	}
+	return t
+}
+
+// Generate draws n records, continuing the generator's stream.
 func (g *Generator) Generate(n int) []Record {
 	out := make([]Record, n)
 	for i := range out {
@@ -94,12 +252,11 @@ func (g *Generator) Next() Record {
 
 	// Technology: cellular vs WiFi, then the within-cellular split.
 	if g.rng.Float64() < cellularShareOfTests {
-		shares := techSharesWithinCellular[g.cfg.Year]
 		u := g.rng.Float64()
 		switch {
-		case u < shares[Tech3G]:
+		case u < g.tab.cum3G:
 			r.Tech = Tech3G
-		case u < shares[Tech3G]+shares[Tech4G]:
+		case u < g.tab.cum4G:
 			r.Tech = Tech4G
 		default:
 			r.Tech = Tech5G
@@ -141,15 +298,9 @@ func (g *Generator) Next() Record {
 }
 
 func (g *Generator) drawHour() int {
-	var total float64
-	for _, w := range hourlyLoad5G {
-		total += w
-	}
-	u := g.rng.Float64() * total
-	var acc float64
-	for h, w := range hourlyLoad5G {
-		acc += w
-		if u <= acc {
+	u := g.rng.Float64() * g.tab.hourTotal
+	for h, c := range g.tab.hourCum {
+		if u <= c {
 			return h
 		}
 	}
@@ -157,60 +308,48 @@ func (g *Generator) drawHour() int {
 }
 
 func (g *Generator) drawAndroid() int {
-	shares := androidShares[g.cfg.Year]
 	u := g.rng.Float64()
-	var acc float64
-	for _, v := range g.androidOrder {
-		acc += shares[v]
-		if u <= acc {
-			return v
+	for i, c := range g.tab.androidCum {
+		if u <= c {
+			return g.tab.androidOrder[i]
 		}
 	}
-	return g.androidOrder[len(g.androidOrder)-1]
+	return g.tab.androidOrder[len(g.tab.androidOrder)-1]
 }
 
 func (g *Generator) fill3G(r *Record) {
-	r.ISP = g.drawISP(cellISPShares[Tech4G])
+	r.ISP = g.drawISP(&g.tab.isp4GCum)
 	r.Band = "B34"
 	g.fillSignal(r, Tech4G)
 	r.BandwidthMbps = math.Max(0.1, g.rng.NormFloat64()*1.5+3)
 }
 
 func (g *Generator) fillCellular(r *Record, tech Tech) {
-	r.ISP = g.drawISP(cellISPShares[tech])
-	bands := lteBands[g.cfg.Year]
-	ispBands := ispLTEBands[r.ISP]
-	shape := lteShape
-	rssFactors := g.rss4G
-	hourFactors := g.hour4G
-	urbanF := g.urban4G
+	ct := &g.tab.lte
+	ispCum := &g.tab.isp4GCum
+	cityF := g.tab.cityF4
 	if tech == Tech5G {
-		bands = nrBands[g.cfg.Year]
-		ispBands = ispNRBands[r.ISP]
-		shape = nrShape
-		rssFactors = g.rss5G
-		hourFactors = g.hour5G
-		urbanF = g.urban5G
+		ct = &g.tab.nr
+		ispCum = &g.tab.isp5GCum
+		cityF = g.tab.cityF5
 	}
-	r.Band = g.drawBand(ispBands)
-	stat, ok := bands[r.Band]
-	if !ok {
-		stat = bandStat{mean: 50}
-	}
+	r.ISP = g.drawISP(ispCum)
+	var mean float64
+	r.Band, mean = g.drawBand(&ct.byISP[r.ISP])
 
 	level := g.fillSignal(r, tech)
 
-	bw := stat.mean * shape.Sample(g.rng)
-	bw *= rssFactors[level-1]
-	bw *= hourFactors[r.Hour]
-	bw *= cityFactor(r.CityID, tech)
+	bw := mean * ct.shape.Sample(g.rng)
+	bw *= ct.rss[level-1]
+	bw *= ct.hour[r.Hour]
+	bw *= cityF[r.CityID]
 	if r.Urban {
-		bw *= urbanF[0]
+		bw *= ct.urban[0]
 	} else {
-		bw *= urbanF[1]
+		bw *= ct.urban[1]
 	}
-	bw *= g.android[r.AndroidVersion]
-	bw *= 1 + deviceBias(r.DeviceModel)
+	bw *= g.tab.androidF[r.AndroidVersion]
+	bw *= 1 + g.tab.deviceBiasTab[r.DeviceModel]
 	if tech == Tech5G {
 		if g.cfg.Year == 2020 {
 			bw *= nr2020Boost
@@ -226,11 +365,9 @@ func (g *Generator) fillCellular(r *Record, tech Tech) {
 // level (1–5).
 func (g *Generator) fillSignal(r *Record, tech Tech) int {
 	u := g.rng.Float64()
-	var acc float64
 	level := len(rssLevels)
-	for i, l := range rssLevels {
-		acc += l.share
-		if u <= acc {
+	for i, c := range g.tab.rssCum {
+		if u <= c {
 			level = i + 1
 			break
 		}
@@ -246,79 +383,67 @@ func (g *Generator) fillSignal(r *Record, tech Tech) int {
 	return level
 }
 
-func (g *Generator) drawISP(shares map[spectrum.ISP]float64) spectrum.ISP {
+func (g *Generator) drawISP(cum *[4]float64) spectrum.ISP {
 	u := g.rng.Float64()
-	var acc float64
-	for _, isp := range []spectrum.ISP{spectrum.ISP1, spectrum.ISP2, spectrum.ISP3, spectrum.ISP4} {
-		acc += shares[isp]
-		if u <= acc {
-			return isp
+	for i, c := range cum {
+		if u <= c {
+			return spectrum.ISP(i + 1)
 		}
 	}
 	return spectrum.ISP1
 }
 
-func (g *Generator) drawBand(shares map[string]float64) string {
-	// Deterministic order for reproducibility.
-	names := make([]string, 0, len(shares))
-	for n := range shares {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	var total float64
-	for _, n := range names {
-		total += shares[n]
-	}
-	u := g.rng.Float64() * total
-	var acc float64
-	for _, n := range names {
-		acc += shares[n]
-		if u <= acc {
-			return n
+// drawBand draws one band from the precomputed table, returning its name
+// and calibrated mean bandwidth.
+func (g *Generator) drawBand(t *bandTable) (string, float64) {
+	u := g.rng.Float64() * t.total
+	for i, c := range t.cum {
+		if u <= c {
+			return t.names[i], t.means[i]
 		}
 	}
-	return names[len(names)-1]
+	last := len(t.names) - 1
+	return t.names[last], t.means[last]
 }
 
 func (g *Generator) fillWiFi(r *Record) {
-	r.ISP = g.drawISP(wifiISPShares)
+	r.ISP = g.drawISP(&g.tab.ispWiFiCum)
 
 	// Standard and radio band.
-	stdShares := wifiStandardShares[g.cfg.Year]
 	u := g.rng.Float64()
 	switch {
-	case u < stdShares[4]:
+	case u < g.tab.wifiStdCum4:
 		r.WiFiStandard = 4
-	case u < stdShares[4]+stdShares[5]:
+	case u < g.tab.wifiStdCum45:
 		r.WiFiStandard = 5
 	default:
 		r.WiFiStandard = 6
 	}
-	if g.rng.Float64() < wifi24Share[r.WiFiStandard] {
+	if g.rng.Float64() < g.tab.wifi24[r.WiFiStandard] {
 		r.WiFiRadio = Band24GHz
 	} else {
 		r.WiFiRadio = Band5GHz
 	}
 
 	// Broadband plan (Figure 16's clustering), with ISP-3's upgrade bias.
-	planIdx := g.drawPlanIndex(wifiPlanShares[r.WiFiStandard])
+	planIdx := g.drawPlanIndex(g.tab.planCum[r.WiFiStandard])
 	if r.ISP == spectrum.ISP3 && planIdx < len(broadbandPlans)-1 && g.rng.Float64() < isp3PlanUpgrade {
 		planIdx++
 	}
 	r.PlanMbps = broadbandPlans[planIdx]
 
 	// Bandwidth: wired plan capped by the air interface.
-	capModel := wifiRadioCap[r.WiFiStandard][r.WiFiRadio]
+	capModel := g.tab.radioCap[r.WiFiStandard][r.WiFiRadio]
 	radio := capModel.Sample(g.rng)
 	wired := r.PlanMbps * (planEffMean + g.rng.NormFloat64()*planEffSigma)
 	bw := math.Min(wired, radio)
 	if r.Urban {
-		bw *= g.urbanWiFi[0]
+		bw *= g.tab.urbanWiFi[0]
 	} else {
-		bw *= g.urbanWiFi[1]
+		bw *= g.tab.urbanWiFi[1]
 	}
-	bw *= g.android[r.AndroidVersion]
-	bw *= 1 + deviceBias(r.DeviceModel)
+	bw *= g.tab.androidF[r.AndroidVersion]
+	bw *= 1 + g.tab.deviceBiasTab[r.DeviceModel]
 	r.BandwidthMbps = bw
 }
 
@@ -336,16 +461,14 @@ func (g *Generator) drawStationID(r *Record) uint32 {
 	return uint32(base%1_000_000)*512 + uint32(g.rng.Intn(400))
 }
 
-func (g *Generator) drawPlanIndex(shares []float64) int {
+func (g *Generator) drawPlanIndex(cum []float64) int {
 	u := g.rng.Float64()
-	var acc float64
-	for i, s := range shares {
-		acc += s
-		if u <= acc {
+	for i, c := range cum {
+		if u <= c {
 			return i
 		}
 	}
-	return len(shares) - 1
+	return len(cum) - 1
 }
 
 // TechModel returns the calibrated bandwidth mixture for a technology in a

@@ -2,19 +2,121 @@ package dataset
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
+	"runtime"
+	"sync"
 )
+
+// JSONLWriter streams records to an io.Writer as JSON Lines through a 1 MiB
+// buffer. Errors are sticky: after the first failure every call reports it,
+// so emit loops can defer the check to the final Flush.
+type JSONLWriter struct {
+	bw      *bufio.Writer
+	enc     *json.Encoder
+	written int
+	err     error
+}
+
+// NewJSONLWriter wraps w. The caller must Flush when done.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	return &JSONLWriter{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Write emits one record as a JSON line.
+func (jw *JSONLWriter) Write(rec *Record) error {
+	if jw.err != nil {
+		return jw.err
+	}
+	if err := jw.enc.Encode(rec); err != nil {
+		jw.err = fmt.Errorf("dataset: encoding record %d: %w", jw.written, err)
+		return jw.err
+	}
+	jw.written++
+	return nil
+}
+
+// Written reports how many records have been accepted so far.
+func (jw *JSONLWriter) Written() int { return jw.written }
+
+// Flush drains the buffer and reports the first error encountered by any
+// prior Write.
+func (jw *JSONLWriter) Flush() error {
+	if jw.err != nil {
+		return jw.err
+	}
+	if err := jw.bw.Flush(); err != nil {
+		jw.err = fmt.Errorf("dataset: flushing records: %w", err)
+	}
+	return jw.err
+}
 
 // WriteJSONL writes records to w, one JSON object per line — the interchange
 // format between cmd/datasetgen and cmd/analyze.
 func WriteJSONL(w io.Writer, records []Record) error {
-	bw := bufio.NewWriterSize(w, 1<<20)
-	enc := json.NewEncoder(bw)
+	jw := NewJSONLWriter(w)
 	for i := range records {
-		if err := enc.Encode(&records[i]); err != nil {
-			return fmt.Errorf("dataset: encoding record %d: %w", i, err)
+		if err := jw.Write(&records[i]); err != nil {
+			return err
+		}
+	}
+	return jw.Flush()
+}
+
+// WriteJSONLParallel encodes records with the given number of workers
+// (workers <= 0 means GOMAXPROCS) and writes the chunks to w in order, so
+// the output is byte-identical to WriteJSONL. JSON encoding dominates emit
+// cost, so spreading it across cores matters more than the final sequential
+// copy.
+func WriteJSONLParallel(w io.Writer, records []Record, workers int) error {
+	const chunk = 4 * ShardSize
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 || len(records) <= chunk {
+		return WriteJSONL(w, records)
+	}
+	numChunks := (len(records) + chunk - 1) / chunk
+	if workers > numChunks {
+		workers = numChunks
+	}
+
+	bufs := make([]bytes.Buffer, numChunks)
+	errs := make([]error, numChunks)
+	var wg sync.WaitGroup
+	for wkr := 0; wkr < workers; wkr++ {
+		wg.Add(1)
+		go func(wkr int) {
+			defer wg.Done()
+			for c := wkr; c < numChunks; c += workers {
+				lo := c * chunk
+				hi := lo + chunk
+				if hi > len(records) {
+					hi = len(records)
+				}
+				enc := json.NewEncoder(&bufs[c])
+				for i := lo; i < hi; i++ {
+					if err := enc.Encode(&records[i]); err != nil {
+						errs[c] = fmt.Errorf("dataset: encoding record %d: %w", i, err)
+						return
+					}
+				}
+			}
+		}(wkr)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	bw := bufio.NewWriterSize(w, 1<<20)
+	for c := range bufs {
+		if _, err := bw.Write(bufs[c].Bytes()); err != nil {
+			return fmt.Errorf("dataset: writing records: %w", err)
 		}
 	}
 	return bw.Flush()

@@ -2,6 +2,7 @@ package dataset
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -52,5 +53,74 @@ func TestReadJSONLEmpty(t *testing.T) {
 	got, err := ReadJSONL(strings.NewReader(""))
 	if err != nil || got != nil {
 		t.Errorf("empty input: %v, %v", got, err)
+	}
+}
+
+func TestJSONLWriterStreams(t *testing.T) {
+	records := MustNewGenerator(Config{Year: 2021, Seed: 4}).Generate(300)
+	var want bytes.Buffer
+	if err := WriteJSONL(&want, records); err != nil {
+		t.Fatal(err)
+	}
+
+	var got bytes.Buffer
+	jw := NewJSONLWriter(&got)
+	for i := range records {
+		if err := jw.Write(&records[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if jw.Written() != len(records) {
+		t.Fatalf("Written() = %d, want %d", jw.Written(), len(records))
+	}
+	if err := jw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Error("streamed output differs from WriteJSONL")
+	}
+}
+
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.n -= len(p); f.n < 0 {
+		return 0, errors.New("disk full")
+	}
+	return len(p), nil
+}
+
+func TestJSONLWriterPropagatesWriteError(t *testing.T) {
+	records := MustNewGenerator(Config{Year: 2021, Seed: 5}).Generate(50_000)
+	jw := NewJSONLWriter(&failWriter{n: 1 << 20})
+	var firstErr error
+	for i := range records {
+		if err := jw.Write(&records[i]); err != nil {
+			firstErr = err
+			break
+		}
+	}
+	if err := jw.Flush(); err == nil {
+		t.Fatal("Flush succeeded despite failing writer")
+	} else if firstErr != nil && err != firstErr {
+		t.Errorf("sticky error changed: %v then %v", firstErr, err)
+	}
+}
+
+func TestWriteJSONLParallelByteIdentical(t *testing.T) {
+	records := MustNewGenerator(Config{Year: 2021, Seed: 6}).
+		GenerateParallel(5*ShardSize+123, 2)
+	var want bytes.Buffer
+	if err := WriteJSONL(&want, records); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 7} {
+		var got bytes.Buffer
+		if err := WriteJSONLParallel(&got, records, workers); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !bytes.Equal(got.Bytes(), want.Bytes()) {
+			t.Errorf("workers=%d: parallel output differs from serial", workers)
+		}
 	}
 }
