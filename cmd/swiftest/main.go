@@ -4,8 +4,8 @@
 //
 // Usage:
 //
-//	swiftest serve  [-addr :7007] [-uplink 100] [-v]
-//	swiftest test   -servers host1:7007[@uplink],host2:7007[@uplink] [-tech 5G] [-max 5s] [-json]
+//	swiftest serve  [-addr :7007] [-uplink 100] [-metrics :9090] [-v]
+//	swiftest test   -servers host1:7007[@uplink],host2:7007[@uplink] [-tech 5G] [-max 5s] [-json] [-trace run.jsonl]
 //	swiftest ping   -servers host1:7007,host2:7007 [-count 3]
 package main
 
@@ -14,6 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -78,6 +80,7 @@ func serve(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", ":7007", "UDP listen address")
 	uplink := fs.Float64("uplink", 100, "server egress capacity (Mbps)")
+	metricsAddr := fs.String("metrics", "", "HTTP listen address for /metrics (Prometheus text; empty disables)")
 	verbose := fs.Bool("v", false, "log test activity")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -87,11 +90,27 @@ func serve(args []string) error {
 	if *verbose {
 		opts.Logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
 	}
+	if *metricsAddr != "" {
+		opts.Metrics = swiftest.NewMetricsRegistry()
+	}
 	srv, err := swiftest.NewServer(*addr, opts)
 	if err != nil {
 		return err
 	}
 	defer srv.Close()
+	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		defer ln.Close()
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", opts.Metrics.Handler())
+		msrv := &http.Server{Handler: mux}
+		go func() { _ = msrv.Serve(ln) }()
+		defer msrv.Close()
+		fmt.Printf("metrics on http://%s/metrics\n", ln.Addr())
+	}
 	fmt.Printf("swiftest server listening on %s (uplink %.0f Mbps)\n", srv.Addr(), *uplink)
 
 	sig := make(chan os.Signal, 1)
@@ -134,6 +153,7 @@ func test(args []string) error {
 	modelPath := fs.String("model", "", "JSON bandwidth-model file (overrides -tech; see SaveModel)")
 	maxDur := fs.Duration("max", 5*time.Second, "probing deadline")
 	asJSON := fs.Bool("json", false, "emit the result as JSON")
+	tracePath := fs.String("trace", "", "write a JSONL run-record of the test to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -166,13 +186,24 @@ func test(args []string) error {
 		}
 	}
 
+	var trace *swiftest.Trace
+	if *tracePath != "" {
+		trace = swiftest.NewTrace(0)
+	}
 	res, err := swiftest.Test(swiftest.TestOptions{
 		Servers:     pool,
 		Model:       model,
 		MaxDuration: *maxDur,
+		Trace:       trace,
 	})
 	if err != nil {
 		return err
+	}
+	if trace != nil {
+		if err := writeTrace(*tracePath, trace); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "run-record written to %s\n", *tracePath)
 	}
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
@@ -189,6 +220,19 @@ func test(args []string) error {
 		fmt.Printf("jitter    : %v (interarrival, RFC 3550 style)\n", res.Jitter.Round(time.Microsecond))
 	}
 	return nil
+}
+
+// writeTrace dumps a test's run-record to path as JSONL.
+func writeTrace(path string, tr *swiftest.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("creating run-record: %w", err)
+	}
+	if err := tr.WriteJSONL(f); err != nil {
+		f.Close()
+		return fmt.Errorf("writing run-record: %w", err)
+	}
+	return f.Close()
 }
 
 func ping(args []string) error {
@@ -225,6 +269,7 @@ func simulate(args []string) error {
 	modelPath := fs.String("model", "", "JSON bandwidth-model file (overrides -tech)")
 	seed := fs.Int64("seed", 1, "emulation seed")
 	compare := fs.Bool("compare", false, "also run the flooding/FAST/FastBTS baselines")
+	tracePath := fs.String("trace", "", "write a JSONL run-record of the emulated test to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -248,9 +293,19 @@ func simulate(args []string) error {
 		return err
 	}
 	link := swiftest.LinkConfig{CapacityMbps: *capMbps, RTT: *rtt, Fluctuation: *fluct, Seed: *seed}
-	res, err := swiftest.SimulateTest(link, model)
+	var trace *swiftest.Trace
+	if *tracePath != "" {
+		trace = swiftest.NewTrace(0)
+	}
+	res, err := swiftest.SimulateTestObserved(link, model, swiftest.SimulateOptions{Trace: trace})
 	if err != nil {
 		return err
+	}
+	if trace != nil {
+		if err := writeTrace(*tracePath, trace); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "run-record written to %s\n", *tracePath)
 	}
 	fmt.Printf("swiftest : %.1f Mbps in %v, %.1f MB, converged=%v (%d escalations)\n",
 		res.BandwidthMbps, res.Duration, res.DataMB, res.Converged, res.RateChanges)

@@ -27,6 +27,7 @@ import (
 	"github.com/mobilebandwidth/swiftest/internal/baseline"
 	"github.com/mobilebandwidth/swiftest/internal/gmm"
 	"github.com/mobilebandwidth/swiftest/internal/linksim"
+	"github.com/mobilebandwidth/swiftest/internal/obs"
 )
 
 // Probe is the transport seam: the engine requests a probing data rate and
@@ -71,6 +72,14 @@ type Config struct {
 	// largest mode of the model, covering clients faster than any mode.
 	// Zero selects 1.25.
 	Headroom float64
+	// Trace, when non-nil, receives the structured events of this test
+	// (rate escalations, samples, convergence checks...). Events are
+	// stamped with the probe's Elapsed() — virtual time under the emulator,
+	// wall time over the real transport.
+	Trace *obs.Trace
+	// Metrics, when non-nil, aggregates test outcomes (convergence,
+	// duration, data volume, bandwidth) across runs.
+	Metrics *EngineMetrics
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -122,18 +131,23 @@ func Run(p Probe, cfg Config) (Result, error) {
 		return Result{}, fmt.Errorf("core: model's most probable mode %g is not a usable rate", initial)
 	}
 	rate := initial
+	cfg.Metrics.onStart()
 	if err := p.SetRate(rate); err != nil {
+		cfg.Trace.Record(p.Elapsed(), obs.EventError, 0, 0, err.Error())
 		return Result{}, fmt.Errorf("core: setting initial rate: %w", err)
 	}
+	cfg.Trace.Record(p.Elapsed(), obs.EventRateInit, rate, 0, "")
 
 	res := Result{InitialRate: initial}
 	settle := cfg.SettleSamples
 	for p.Elapsed() < cfg.MaxDuration {
 		s, ok := p.NextSample()
 		if !ok {
+			cfg.Trace.Record(p.Elapsed(), obs.EventProbeEnd, 0, 0, "")
 			break
 		}
 		res.Samples = append(res.Samples, s)
+		cfg.Trace.Record(p.Elapsed(), obs.EventSample, s, rate, "")
 		if settle > 0 {
 			settle--
 		}
@@ -142,9 +156,13 @@ func Run(p Probe, cfg Config) (Result, error) {
 		// threshold → stop and report their mean (§5.1).
 		if len(res.Samples) >= cfg.ConvergeWindow {
 			tail := res.Samples[len(res.Samples)-cfg.ConvergeWindow:]
+			if cfg.Trace != nil {
+				cfg.Trace.Record(p.Elapsed(), obs.EventConvergeCheck, spreadOf(tail), cfg.ConvergeThreshold, "")
+			}
 			if baseline.Stable(tail, cfg.ConvergeThreshold) {
 				res.Bandwidth = meanOf(tail)
 				res.Converged = true
+				cfg.Trace.Record(p.Elapsed(), obs.EventConverged, res.Bandwidth, spreadOf(tail), "")
 				break
 			}
 		}
@@ -155,17 +173,23 @@ func Run(p Probe, cfg Config) (Result, error) {
 		if settle == 0 && s >= rate*(1-cfg.SaturationMargin) {
 			next, ok := cfg.Model.NextLargerMode(rate)
 			var newRate float64
+			note := "mode"
 			if ok {
 				newRate = next.Rate
 			} else {
 				newRate = rate * cfg.Headroom
+				note = "headroom"
 			}
 			if newRate > rate {
+				oldRate := rate
 				rate = newRate
 				if err := p.SetRate(rate); err != nil {
+					cfg.Trace.Record(p.Elapsed(), obs.EventError, 0, 0, err.Error())
 					return res, fmt.Errorf("core: escalating rate: %w", err)
 				}
+				cfg.Trace.Record(p.Elapsed(), obs.EventEscalate, rate, oldRate, note)
 				res.RateChanges++
+				cfg.Metrics.onEscalate()
 				settle = cfg.SettleSamples
 			}
 		}
@@ -178,11 +202,34 @@ func Run(p Probe, cfg Config) (Result, error) {
 			tail = tail[len(tail)-cfg.ConvergeWindow:]
 		}
 		res.Bandwidth = meanOf(tail)
+		cfg.Trace.Record(p.Elapsed(), obs.EventTimeout, res.Bandwidth, 0, "")
 	}
 	res.Duration = p.Elapsed()
 	res.DataMB = p.DataMB()
 	res.FinalRate = rate
+	cfg.Metrics.onFinish(res)
 	return res, nil
+}
+
+// spreadOf reports the max/min difference ratio of the window — the quantity
+// the 3% convergence criterion bounds.
+func spreadOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	if hi == 0 {
+		return 0
+	}
+	return (hi - lo) / hi
 }
 
 func meanOf(xs []float64) float64 {

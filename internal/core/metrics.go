@@ -1,0 +1,76 @@
+package core
+
+import (
+	"github.com/mobilebandwidth/swiftest/internal/obs"
+)
+
+// EngineMetrics aggregates test outcomes across runs of the probing engine
+// into an obs registry. A nil *EngineMetrics (the default when no registry is
+// configured) disables every update at the cost of one nil check, so the
+// virtual-time benchmarks are unaffected.
+type EngineMetrics struct {
+	tests       *obs.Counter
+	converged   *obs.Counter
+	timeouts    *obs.Counter
+	escalations *obs.Counter
+	duration    *obs.Histogram
+	dataMB      *obs.Histogram
+	bandwidth   *obs.Histogram
+}
+
+// NewEngineMetrics registers the engine's metric series on reg. Registering
+// twice on the same registry returns handles to the same series, so several
+// engines can aggregate into one registry. A nil registry yields nil, which
+// disables instrumentation.
+func NewEngineMetrics(reg *obs.Registry) *EngineMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &EngineMetrics{
+		tests: reg.Counter("swiftest_engine_tests_total",
+			"Bandwidth tests started by the probing engine."),
+		converged: reg.Counter("swiftest_engine_tests_converged_total",
+			"Tests stopped by the 3% convergence criterion."),
+		timeouts: reg.Counter("swiftest_engine_tests_timeout_total",
+			"Tests stopped by the deadline or probe exhaustion without converging."),
+		escalations: reg.Counter("swiftest_engine_rate_escalations_total",
+			"Probing-rate escalations across all tests."),
+		duration: reg.Histogram("swiftest_engine_test_duration_seconds",
+			"Probing time per test.",
+			[]float64{0.25, 0.5, 0.75, 1, 1.5, 2, 3, 4, 5, 7.5, 10}),
+		dataMB: reg.Histogram("swiftest_engine_test_data_mb",
+			"Data consumed per test (MB).",
+			[]float64{1, 2, 5, 10, 20, 50, 100, 200, 500}),
+		bandwidth: reg.Histogram("swiftest_engine_bandwidth_mbps",
+			"Estimated access bandwidth per test (Mbps).",
+			[]float64{1, 5, 10, 25, 50, 100, 200, 400, 800, 1600}),
+	}
+}
+
+func (m *EngineMetrics) onStart() {
+	if m == nil {
+		return
+	}
+	m.tests.Inc()
+}
+
+func (m *EngineMetrics) onEscalate() {
+	if m == nil {
+		return
+	}
+	m.escalations.Inc()
+}
+
+func (m *EngineMetrics) onFinish(res Result) {
+	if m == nil {
+		return
+	}
+	if res.Converged {
+		m.converged.Inc()
+	} else {
+		m.timeouts.Inc()
+	}
+	m.duration.Observe(res.Duration.Seconds())
+	m.dataMB.Observe(res.DataMB)
+	m.bandwidth.Observe(res.Bandwidth)
+}

@@ -95,6 +95,44 @@ func Seed() int64 {
 	})
 }
 
+// TestWalltimeObsTracerPattern proves the caller-stamped tracer design the
+// obs package uses survives the analyzer with no allows: the tracer stores
+// elapsed durations handed to it by the probe (virtual or wall), so a
+// metrics/tracing package never reads a clock itself.
+func TestWalltimeObsTracerPattern(t *testing.T) {
+	runFixture(t, Walltime, "example.com/obs", map[string]string{
+		"obs.go": `// Package obs records caller-stamped events: timestamps come in as
+// elapsed durations from an injected clock, never from the wall.
+package obs
+
+import "time"
+
+type Event struct {
+	At   time.Duration
+	Kind string
+}
+
+type Trace struct {
+	events []Event
+}
+
+// Record stamps nothing itself: at is the probe's Elapsed(), virtual under
+// the emulator and wall time over the real transport.
+func (t *Trace) Record(at time.Duration, kind string) {
+	if t == nil {
+		return
+	}
+	t.events = append(t.events, Event{At: at, Kind: kind})
+}
+
+// Horizon is pure duration arithmetic on caller-provided instants.
+func Horizon(at time.Duration) time.Duration {
+	return at + 50*time.Millisecond
+}
+`,
+	})
+}
+
 // TestDirectiveValidation: allows without reasons, with unknown analyzers,
 // or with a mangled verb are diagnostics, not silent no-ops.
 func TestDirectiveValidation(t *testing.T) {

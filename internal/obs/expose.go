@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// Snapshot is a point-in-time JSON-marshalable copy of a registry — the
+// programmatic counterpart of the Prometheus text exposition, used by tests
+// and by the /metrics?format=json endpoint.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot captures every registered metric. A nil registry snapshots empty.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	ordered := append([]metric(nil), r.ordered...)
+	r.mu.Unlock()
+	for _, m := range ordered {
+		switch m := m.(type) {
+		case *Counter:
+			s.Counters[m.name] = m.Value()
+		case *Gauge:
+			s.Gauges[m.name] = m.Value()
+		case *Histogram:
+			s.Histograms[m.name] = m.Snapshot()
+		}
+	}
+	return s
+}
+
+// WritePrometheus renders every metric in Prometheus text exposition format
+// (version 0.0.4), in registration order. Histogram buckets are rendered
+// cumulatively with `le` labels, per the format.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	ordered := append([]metric(nil), r.ordered...)
+	r.mu.Unlock()
+
+	var buf bytes.Buffer
+	for _, m := range ordered {
+		name := m.metricName()
+		if help := m.metricHelp(); help != "" {
+			buf.WriteString("# HELP ")
+			buf.WriteString(name)
+			buf.WriteByte(' ')
+			buf.WriteString(escapeHelp(help))
+			buf.WriteByte('\n')
+		}
+		buf.WriteString("# TYPE ")
+		buf.WriteString(name)
+		buf.WriteByte(' ')
+		buf.WriteString(m.promType())
+		buf.WriteByte('\n')
+		switch m := m.(type) {
+		case *Counter:
+			buf.WriteString(name)
+			buf.WriteByte(' ')
+			buf.WriteString(strconv.FormatUint(m.Value(), 10))
+			buf.WriteByte('\n')
+		case *Gauge:
+			buf.WriteString(name)
+			buf.WriteByte(' ')
+			appendFloat(&buf, m.Value())
+			buf.WriteByte('\n')
+		case *Histogram:
+			snap := m.Snapshot()
+			var cum uint64
+			for i, c := range snap.Counts {
+				cum += c
+				buf.WriteString(name)
+				buf.WriteString(`_bucket{le="`)
+				if i < len(snap.Bounds) {
+					appendFloat(&buf, snap.Bounds[i])
+				} else {
+					buf.WriteString("+Inf")
+				}
+				buf.WriteString(`"} `)
+				buf.WriteString(strconv.FormatUint(cum, 10))
+				buf.WriteByte('\n')
+			}
+			buf.WriteString(name)
+			buf.WriteString("_sum ")
+			appendFloat(&buf, snap.Sum)
+			buf.WriteByte('\n')
+			buf.WriteString(name)
+			buf.WriteString("_count ")
+			buf.WriteString(strconv.FormatUint(snap.Count, 10))
+			buf.WriteByte('\n')
+		}
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+func appendFloat(buf *bytes.Buffer, v float64) {
+	buf.Write(strconv.AppendFloat(buf.AvailableBuffer(), v, 'g', -1, 64))
+}
+
+// escapeHelp escapes backslashes and newlines per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// Handler returns an HTTP handler serving the registry: Prometheus text by
+// default, the JSON snapshot with ?format=json. Mount it wherever the
+// deployment exposes /metrics. Serving a nil registry yields empty output,
+// so a disabled deployment can still mount the endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			w.WriteHeader(http.StatusMethodNotAllowed)
+			return
+		}
+		if req.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(r.Snapshot())
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/mobilebandwidth/swiftest/internal/obs"
 	"github.com/mobilebandwidth/swiftest/internal/wire"
 )
 
@@ -125,6 +126,7 @@ type UDPProbe struct {
 	pool    *ServerPool
 	testID  uint64
 	started time.Time
+	trace   *obs.Trace
 
 	mu       sync.Mutex
 	sessions []*clientSession // guarded by mu
@@ -168,6 +170,14 @@ func NewUDPProbe(pool *ServerPool, rng *rand.Rand) (*UDPProbe, error) {
 		sampleInterval: SampleInterval,
 	}, nil
 }
+
+// TestID reports the probe's wire-protocol test identifier, for correlating
+// run-records with server-side logs and metrics.
+func (p *UDPProbe) TestID() uint64 { return p.testID }
+
+// SetTrace attaches a tracer that receives transport-level events (server
+// additions). Call before the first SetRate; a nil tracer disables emission.
+func (p *UDPProbe) SetTrace(tr *obs.Trace) { p.trace = tr }
 
 // SetRate implements core.Probe: it sizes the server set for mbps and
 // distributes the rate across sessions in latency order.
@@ -271,6 +281,7 @@ func (p *UDPProbe) openSession(server PoolServer) (*clientSession, error) {
 	_ = conn.SetReadDeadline(time.Time{})
 
 	sess := &clientSession{conn: conn, server: server, probe: p, done: make(chan struct{})}
+	p.trace.Record(p.Elapsed(), obs.EventServerAdd, 0, server.UplinkMbps, server.Addr)
 	go sess.receiveLoop()
 	return sess, nil
 }

@@ -1,0 +1,89 @@
+package transport
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"github.com/mobilebandwidth/swiftest/internal/obs"
+	"github.com/mobilebandwidth/swiftest/internal/wire"
+)
+
+// TestVanishedClientIsReaped simulates the field failure mode the idle
+// timeout exists for: a client opens a session and then disappears — crash,
+// radio loss — without ever sending Fin. The server must reap the session
+// after IdleTimeout and account for it in the reap metric.
+func TestVanishedClientIsReaped(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv, err := NewServer("127.0.0.1:0", ServerConfig{
+		UplinkMbps:  50,
+		IdleTimeout: 300 * time.Millisecond,
+		Metrics:     reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Handcrafted wire client: handshake, then vanish. Rate 0 keeps the
+	// pacer silent so the socket can close without ICMP-unreachable noise.
+	conn, err := net.DialUDP("udp", nil, srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := wire.TestRequest{TestID: 42, RateKbps: 0}
+	reqBuf := req.AppendTo(make([]byte, 0, wire.TestRequestLen))
+	buf := make([]byte, 256)
+	accepted := false
+	for attempt := 0; attempt < 5 && !accepted; attempt++ {
+		if _, err := conn.Write(reqBuf); err != nil {
+			t.Fatal(err)
+		}
+		_ = conn.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+		n, err := conn.Read(buf)
+		if err != nil {
+			continue
+		}
+		var acc wire.TestAccept
+		if acc.Decode(buf[:n]) == nil && acc.TestID == 42 {
+			accepted = true
+		}
+	}
+	if !accepted {
+		t.Fatal("server did not accept the test")
+	}
+	if srv.ActiveSessions() != 1 {
+		t.Fatalf("active sessions = %d, want 1", srv.ActiveSessions())
+	}
+	conn.Close() // vanish: no Fin
+
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.ActiveSessions() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("session not reaped within 5 s (idle timeout 300 ms)")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["swiftest_server_sessions_reaped_total"]; got != 1 {
+		t.Errorf("reaped counter = %d, want 1", got)
+	}
+	if got := snap.Counters["swiftest_server_sessions_finished_total"]; got != 0 {
+		t.Errorf("finished counter = %d, want 0 — no Fin was sent", got)
+	}
+	if got := snap.Counters["swiftest_server_sessions_started_total"]; got != 1 {
+		t.Errorf("started counter = %d, want 1", got)
+	}
+	// The active-sessions gauge must have returned to zero with the reap.
+	waitGauge := time.Now().Add(2 * time.Second)
+	for {
+		if g := reg.Snapshot().Gauges["swiftest_server_sessions_active"]; g == 0 {
+			break
+		}
+		if time.Now().After(waitGauge) {
+			t.Fatalf("active gauge stuck at %g", reg.Snapshot().Gauges["swiftest_server_sessions_active"])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

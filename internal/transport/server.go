@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/mobilebandwidth/swiftest/internal/obs"
 	"github.com/mobilebandwidth/swiftest/internal/wire"
 )
 
@@ -48,14 +49,18 @@ type ServerConfig struct {
 	// IdleTimeout reaps sessions whose client vanished without a Fin; zero
 	// selects DefaultIdleTimeout.
 	IdleTimeout time.Duration
+	// Metrics, when non-nil, receives the server's operational metrics
+	// (session lifecycle, pacing, drops, reaps) for Prometheus exposition.
+	Metrics *obs.Registry
 }
 
 // Server is a Swiftest UDP test server.
 type Server struct {
-	conn   *net.UDPConn
-	cfg    ServerConfig
-	wg     sync.WaitGroup
-	closed atomic.Bool
+	conn    *net.UDPConn
+	cfg     ServerConfig
+	wg      sync.WaitGroup
+	closed  atomic.Bool
+	metrics serverMetrics
 
 	mu       sync.Mutex
 	sessions map[sessionKey]*session // guarded by mu
@@ -97,6 +102,8 @@ func NewServer(addr string, cfg ServerConfig) (*Server, error) {
 		cfg.IdleTimeout = DefaultIdleTimeout
 	}
 	s := &Server{conn: conn, cfg: cfg, sessions: make(map[sessionKey]*session)}
+	s.metrics = newServerMetrics(cfg.Metrics)
+	s.metrics.uplinkMbps.Set(cfg.UplinkMbps)
 	s.wg.Add(1)
 	go s.readLoop()
 	return s, nil
@@ -162,6 +169,7 @@ func (s *Server) readLoop() {
 		case wire.TypePing:
 			var ping wire.Ping
 			if ping.Decode(pkt) == nil {
+				s.metrics.pings.Inc()
 				pong := wire.Pong{Seq: ping.Seq, EchoNS: ping.SentNS}
 				out = pong.AppendTo(out)
 				_, _ = s.conn.WriteToUDP(out, peer)
@@ -199,9 +207,16 @@ func (s *Server) handleTestRequest(req *wire.TestRequest, peer *net.UDPAddr) {
 		return // duplicate request (client retransmit); already running
 	}
 	sess := &session{testID: req.TestID, peer: peer, stop: make(chan struct{})}
-	sess.rateKbps.Store(s.clampRateLocked(req.RateKbps, nil))
+	granted := s.clampRateLocked(req.RateKbps, nil)
+	if granted < req.RateKbps {
+		s.metrics.rateClamped.Inc()
+	}
+	sess.rateKbps.Store(granted)
 	sess.lastSeen.Store(time.Now().UnixNano())
 	s.sessions[key] = sess
+	s.metrics.sessionsStarted.Inc()
+	s.metrics.sessionsActive.Inc()
+	s.updatePacedGaugeLocked()
 	s.wg.Add(1)
 	go s.pace(sess, key)
 	s.logf("test started", "peer", peer.String(), "test_id", req.TestID,
@@ -252,8 +267,14 @@ func (s *Server) handleRateSet(rs *wire.RateSet, peer *net.UDPAddr) {
 			break
 		}
 	}
+	if clamped < rs.RateKbps {
+		s.metrics.rateClamped.Inc()
+	}
 	sess.rateKbps.Store(clamped)
 	sess.lastSeen.Store(time.Now().UnixNano())
+	s.mu.Lock()
+	s.updatePacedGaugeLocked()
+	s.mu.Unlock()
 }
 
 func (s *Server) handleFin(fin *wire.Fin, peer *net.UDPAddr) {
@@ -261,11 +282,14 @@ func (s *Server) handleFin(fin *wire.Fin, peer *net.UDPAddr) {
 	s.mu.Lock()
 	sess := s.sessions[key]
 	delete(s.sessions, key)
+	s.updatePacedGaugeLocked()
 	s.mu.Unlock()
 	if sess == nil {
 		return
 	}
 	sess.shutdown()
+	s.metrics.sessionsFinished.Inc()
+	s.metrics.resultMbps.Observe(wire.MbpsFromKbps(fin.ResultKbps))
 	if s.cfg.OnResult != nil {
 		s.cfg.OnResult(wire.MbpsFromKbps(fin.ResultKbps))
 	}
@@ -279,9 +303,13 @@ func (sess *session) shutdown() { sess.stopOnce.Do(func() { close(sess.stop) }) 
 // the session stops or idles out.
 func (s *Server) pace(sess *session, key sessionKey) {
 	defer s.wg.Done()
+	// Exactly-once teardown accounting: every session's pace goroutine exits
+	// through this defer regardless of the Fin / idle-reap / Close path.
 	defer func() {
 		s.mu.Lock()
 		delete(s.sessions, key)
+		s.metrics.sessionsActive.Dec()
+		s.updatePacedGaugeLocked()
 		s.mu.Unlock()
 	}()
 
@@ -304,6 +332,7 @@ func (s *Server) pace(sess *session, key sessionKey) {
 		elapsed := now.Sub(last).Seconds()
 		last = now
 		if now.UnixNano()-sess.lastSeen.Load() > int64(s.cfg.IdleTimeout) {
+			s.metrics.sessionsReaped.Inc()
 			s.logf("session idle timeout", "peer", sess.peer.String(), "test_id", sess.testID)
 			return
 		}
@@ -336,9 +365,12 @@ func (s *Server) pace(sess *session, key sessionKey) {
 				}
 				// Transient send failure (e.g. buffer full): drop and move on,
 				// exactly like a lossy link.
+				s.metrics.sendErrors.Inc()
 				break
 			}
 			s.bytesSent.Add(int64(len(pkt)))
+			s.metrics.datagramsSent.Inc()
+			s.metrics.bytesSent.Add(uint64(len(pkt)))
 		}
 	}
 }

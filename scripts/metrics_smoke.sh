@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Loopback observability smoke: start a metrics-enabled test server, run one
+# real client test with a run-record, scrape /metrics, and assert that every
+# documented server metric is present in the Prometheus text exposition.
+set -euo pipefail
+
+SERVE_ADDR=127.0.0.1:7907
+METRICS_ADDR=127.0.0.1:9907
+WORK="$(mktemp -d)"
+trap 'kill "${SRV_PID:-}" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+go build -o "$WORK/swiftest" ./cmd/swiftest
+
+"$WORK/swiftest" serve -addr "$SERVE_ADDR" -uplink 100 -metrics "$METRICS_ADDR" &
+SRV_PID=$!
+
+# Wait for the metrics endpoint to come up.
+for i in $(seq 1 50); do
+  if curl -fsS "http://$METRICS_ADDR/metrics" >/dev/null 2>&1; then
+    break
+  fi
+  if ! kill -0 "$SRV_PID" 2>/dev/null; then
+    echo "server exited before the metrics endpoint came up" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+
+"$WORK/swiftest" test -servers "$SERVE_ADDR@100" -max 2s -trace "$WORK/run.jsonl"
+
+# The run-record must carry the documented schema tag in its header line.
+head -1 "$WORK/run.jsonl" | grep -q '"schema":"swiftest-run-record/v1"' || {
+  echo "run-record header missing schema tag:" >&2
+  head -1 "$WORK/run.jsonl" >&2
+  exit 1
+}
+
+curl -fsS "http://$METRICS_ADDR/metrics" > "$WORK/metrics.txt"
+
+fail=0
+for name in \
+  swiftest_server_sessions_active \
+  swiftest_server_sessions_started_total \
+  swiftest_server_sessions_finished_total \
+  swiftest_server_sessions_reaped_total \
+  swiftest_server_datagrams_sent_total \
+  swiftest_server_bytes_sent_total \
+  swiftest_server_send_errors_total \
+  swiftest_server_rate_clamped_total \
+  swiftest_server_pings_total \
+  swiftest_server_paced_mbps \
+  swiftest_server_uplink_mbps \
+  swiftest_server_result_mbps \
+; do
+  if ! grep -q "^$name" "$WORK/metrics.txt"; then
+    echo "missing metric: $name" >&2
+    fail=1
+  fi
+done
+if [ "$fail" -ne 0 ]; then
+  echo "--- exposition ---" >&2
+  cat "$WORK/metrics.txt" >&2
+  exit 1
+fi
+
+# The one test we ran must be visible in the counters.
+grep -q '^swiftest_server_sessions_started_total 1' "$WORK/metrics.txt" || {
+  echo "expected exactly one started session:" >&2
+  grep '^swiftest_server_sessions' "$WORK/metrics.txt" >&2
+  exit 1
+}
+
+echo "observability smoke passed: $(wc -l < "$WORK/run.jsonl") run-record lines, $(grep -c '^swiftest_' "$WORK/metrics.txt") metric samples"

@@ -1,6 +1,7 @@
 package swiftest
 
 import (
+	"strconv"
 	"time"
 
 	"github.com/mobilebandwidth/swiftest/internal/baseline"
@@ -50,13 +51,38 @@ func (c LinkConfig) toInternal() linksim.Config {
 // in virtual time (microseconds of wall clock). It exercises exactly the
 // same probing engine as Test.
 func SimulateTest(link LinkConfig, model *Model) (Result, error) {
+	return SimulateTestObserved(link, model, SimulateOptions{})
+}
+
+// SimulateOptions attaches observability to an emulated test.
+type SimulateOptions struct {
+	// Trace, when non-nil, receives the structured events of the test,
+	// stamped in virtual time — the same run-record schema as a live Test.
+	Trace *Trace
+	// Metrics, when non-nil, aggregates engine outcomes across simulations.
+	Metrics *MetricsRegistry
+}
+
+// SimulateTestObserved is SimulateTest with a tracer and/or metrics registry
+// attached: the emulator reuses the exact instrumentation of the live path,
+// so run-records from virtual and real tests are directly comparable.
+func SimulateTestObserved(link LinkConfig, model *Model, opts SimulateOptions) (Result, error) {
 	l, err := linksim.New(link.toInternal(), link.Seed)
 	if err != nil {
 		return Result{}, err
 	}
+	if opts.Trace != nil {
+		opts.Trace.SetMeta("source", "sim")
+		opts.Trace.SetMeta("capacity_mbps", strconv.FormatFloat(link.CapacityMbps, 'g', -1, 64))
+		opts.Trace.SetMeta("seed", strconv.FormatInt(link.Seed, 10))
+	}
 	probe := core.NewSimProbe(l)
 	defer probe.Close()
-	res, err := core.Run(probe, core.Config{Model: model})
+	res, err := core.Run(probe, core.Config{
+		Model:   model,
+		Trace:   opts.Trace,
+		Metrics: core.NewEngineMetrics(opts.Metrics),
+	})
 	if err != nil {
 		return Result{}, err
 	}

@@ -40,13 +40,40 @@ import (
 	"log/slog"
 	"math/rand"
 	"os"
+	"strconv"
 	"time"
 
 	"github.com/mobilebandwidth/swiftest/internal/core"
 	"github.com/mobilebandwidth/swiftest/internal/dataset"
 	"github.com/mobilebandwidth/swiftest/internal/gmm"
+	"github.com/mobilebandwidth/swiftest/internal/obs"
 	"github.com/mobilebandwidth/swiftest/internal/transport"
 )
+
+// MetricsRegistry aggregates operational metrics — counters, gauges and
+// mergeable histograms with atomic, allocation-free updates. Share one
+// registry between servers and tests to aggregate, expose it over HTTP with
+// its Handler method (Prometheus text exposition, version 0.0.4), or take a
+// programmatic Snapshot. A nil registry disables every update at the cost of
+// one nil check.
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// Trace records the structured events of one bandwidth test (rate
+// escalations, 50 ms samples, convergence checks, server additions) into a
+// bounded ring. Dump it as a JSONL run-record with WriteJSONL. Event
+// timestamps are the probe's elapsed time: virtual under SimulateTest, wall
+// time under Test — the record schema is identical in both worlds.
+type Trace = obs.Trace
+
+// TraceEvent is one structured trace record.
+type TraceEvent = obs.Event
+
+// NewTrace returns a tracer bounded to capacity events; capacity ≤ 0 selects
+// a default that holds every realistic test.
+func NewTrace(capacity int) *Trace { return obs.NewTrace(capacity) }
 
 // Tech identifies a mobile access technology.
 type Tech = dataset.Tech
@@ -154,6 +181,9 @@ type ServerOptions struct {
 	Logger *slog.Logger
 	// OnResult receives each client-reported result (for model refresh).
 	OnResult func(mbps float64)
+	// Metrics, when non-nil, receives the server's operational metrics
+	// (session lifecycle, pacing, drops, idle reaps).
+	Metrics *MetricsRegistry
 }
 
 // Server is a running Swiftest UDP test server.
@@ -167,6 +197,7 @@ func NewServer(addr string, opts ServerOptions) (*Server, error) {
 		UplinkMbps: opts.UplinkMbps,
 		Logger:     opts.Logger,
 		OnResult:   opts.OnResult,
+		Metrics:    opts.Metrics,
 	})
 	if err != nil {
 		return nil, err
@@ -208,6 +239,12 @@ type TestOptions struct {
 	MaxDuration time.Duration
 	// Seed drives test-ID generation; zero derives one from the clock.
 	Seed int64
+	// Trace, when non-nil, receives the structured events of this test for
+	// a JSONL run-record (see Trace).
+	Trace *Trace
+	// Metrics, when non-nil, aggregates engine outcomes (convergence,
+	// duration, data volume, bandwidth) across tests.
+	Metrics *MetricsRegistry
 }
 
 // Test runs one full Swiftest bandwidth test over real UDP: server selection
@@ -247,7 +284,18 @@ func Test(opts TestOptions) (Result, error) {
 	if err != nil {
 		return Result{}, fmt.Errorf("swiftest: preparing probe: %w", err)
 	}
-	res, err := core.Run(probe, core.Config{Model: opts.Model, MaxDuration: opts.MaxDuration})
+	if opts.Trace != nil {
+		opts.Trace.SetMeta("source", "udp")
+		opts.Trace.SetMeta("test_id", strconv.FormatUint(probe.TestID(), 10))
+		opts.Trace.SetMeta("started_unix_ms", strconv.FormatInt(time.Now().UnixMilli(), 10)) //lint:allow walltime run-record start stamp for correlating live tests with server logs
+		probe.SetTrace(opts.Trace)
+	}
+	res, err := core.Run(probe, core.Config{
+		Model:       opts.Model,
+		MaxDuration: opts.MaxDuration,
+		Trace:       opts.Trace,
+		Metrics:     core.NewEngineMetrics(opts.Metrics),
+	})
 	jitter := probe.Jitter()
 	probe.Finish(res.Bandwidth, res.Duration)
 	if err != nil {
