@@ -4,12 +4,13 @@
 //
 // Usage:
 //
-//	swiftest serve  [-addr :7007] [-uplink 100] [-metrics :9090] [-v]
-//	swiftest test   -servers host1:7007[@uplink],host2:7007[@uplink] [-tech 5G] [-max 5s] [-json] [-trace run.jsonl]
+//	swiftest serve  [-addr :7007] [-uplink 100] [-metrics :9090] [-faults plan.json] [-fault-server 0] [-v]
+//	swiftest test   -servers host1:7007[@uplink],host2:7007[@uplink] [-tech 5G] [-max 5s] [-timeout 30s] [-json] [-trace run.jsonl]
 //	swiftest ping   -servers host1:7007,host2:7007 [-count 3]
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -81,12 +82,23 @@ func serve(args []string) error {
 	addr := fs.String("addr", ":7007", "UDP listen address")
 	uplink := fs.Float64("uplink", 100, "server egress capacity (Mbps)")
 	metricsAddr := fs.String("metrics", "", "HTTP listen address for /metrics (Prometheus text; empty disables)")
+	faultsPath := fs.String("faults", "", "JSON fault plan to act out (times are elapsed since startup)")
+	faultServer := fs.Int("fault-server", 0, "this server's index in the fault plan's pool order")
 	verbose := fs.Bool("v", false, "log test activity")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	opts := swiftest.ServerOptions{UplinkMbps: *uplink}
+	opts := swiftest.ServerOptions{UplinkMbps: *uplink, FaultServer: *faultServer}
+	if *faultsPath != "" {
+		plan, err := swiftest.LoadFaultPlan(*faultsPath)
+		if err != nil {
+			return err
+		}
+		opts.FaultPlan = plan
+		fmt.Printf("acting out %d faults from %s as pool server %d\n",
+			len(plan.Faults), *faultsPath, *faultServer)
+	}
 	if *verbose {
 		opts.Logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
 	}
@@ -152,6 +164,7 @@ func test(args []string) error {
 	tech := fs.String("tech", "5G", "access technology for the bandwidth model: 4G, 5G or WiFi")
 	modelPath := fs.String("model", "", "JSON bandwidth-model file (overrides -tech; see SaveModel)")
 	maxDur := fs.Duration("max", 5*time.Second, "probing deadline")
+	timeout := fs.Duration("timeout", 0, "hard deadline for the whole test including server selection (0 disables)")
 	asJSON := fs.Bool("json", false, "emit the result as JSON")
 	tracePath := fs.String("trace", "", "write a JSONL run-record of the test to this file")
 	if err := fs.Parse(args); err != nil {
@@ -190,7 +203,13 @@ func test(args []string) error {
 	if *tracePath != "" {
 		trace = swiftest.NewTrace(0)
 	}
-	res, err := swiftest.Test(swiftest.TestOptions{
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, err := swiftest.TestContext(ctx, swiftest.TestOptions{
 		Servers:     pool,
 		Model:       model,
 		MaxDuration: *maxDur,
@@ -216,6 +235,10 @@ func test(args []string) error {
 	fmt.Printf("data used : %.1f MB over %d samples\n", res.DataMB, len(res.Samples))
 	fmt.Printf("converged : %v (initial rate %.0f Mbps, %d escalations)\n",
 		res.Converged, res.InitialRateMbps, res.RateChanges)
+	if res.ServersLost > 0 {
+		fmt.Printf("degraded  : lost %d of %d servers mid-test and failed over\n",
+			res.ServersLost, res.ServersUsed)
+	}
 	if res.Jitter > 0 {
 		fmt.Printf("jitter    : %v (interarrival, RFC 3550 style)\n", res.Jitter.Round(time.Microsecond))
 	}
@@ -270,6 +293,8 @@ func simulate(args []string) error {
 	seed := fs.Int64("seed", 1, "emulation seed")
 	compare := fs.Bool("compare", false, "also run the flooding/FAST/FastBTS baselines")
 	tracePath := fs.String("trace", "", "write a JSONL run-record of the emulated test to this file")
+	faultsPath := fs.String("faults", "", "JSON fault plan to inject into the emulated pool")
+	uplinks := fs.String("uplinks", "", "comma-separated per-server uplink caps (Mbps) for a multi-server pool")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -297,7 +322,27 @@ func simulate(args []string) error {
 	if *tracePath != "" {
 		trace = swiftest.NewTrace(0)
 	}
-	res, err := swiftest.SimulateTestObserved(link, model, swiftest.SimulateOptions{Trace: trace})
+	simOpts := swiftest.SimulateOptions{Trace: trace}
+	if *faultsPath != "" {
+		plan, err := swiftest.LoadFaultPlan(*faultsPath)
+		if err != nil {
+			return err
+		}
+		simOpts.Faults = plan
+	}
+	if *uplinks != "" {
+		for i, part := range strings.Split(*uplinks, ",") {
+			u, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if err != nil || u <= 0 {
+				return fmt.Errorf("bad uplink %q in -uplinks", part)
+			}
+			simOpts.Servers = append(simOpts.Servers, swiftest.SimServer{
+				Addr:       fmt.Sprintf("sim-%d", i),
+				UplinkMbps: u,
+			})
+		}
+	}
+	res, err := swiftest.SimulateTestObserved(link, model, simOpts)
 	if err != nil {
 		return err
 	}
@@ -309,6 +354,10 @@ func simulate(args []string) error {
 	}
 	fmt.Printf("swiftest : %.1f Mbps in %v, %.1f MB, converged=%v (%d escalations)\n",
 		res.BandwidthMbps, res.Duration, res.DataMB, res.Converged, res.RateChanges)
+	if res.ServersLost > 0 {
+		fmt.Printf("degraded : lost %d of %d servers mid-test and failed over\n",
+			res.ServersLost, res.ServersUsed)
+	}
 	if !*compare {
 		return nil
 	}

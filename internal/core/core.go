@@ -20,15 +20,27 @@
 package core
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"time"
 
 	"github.com/mobilebandwidth/swiftest/internal/baseline"
+	"github.com/mobilebandwidth/swiftest/internal/errdefs"
 	"github.com/mobilebandwidth/swiftest/internal/gmm"
 	"github.com/mobilebandwidth/swiftest/internal/linksim"
 	"github.com/mobilebandwidth/swiftest/internal/obs"
 )
+
+// ServerHealth is an optional Probe extension: multi-server probes report
+// how many server sessions the test opened and how many were declared dead
+// mid-test, so Run can mark the result Degraded. Single-link probes simply
+// don't implement it.
+type ServerHealth interface {
+	// ServersUsed is the number of server sessions opened over the test.
+	ServersUsed() int
+	// ServersLost is the number of sessions declared lost mid-test.
+	ServersLost() int
+}
 
 // Probe is the transport seam: the engine requests a probing data rate and
 // consumes periodic bandwidth samples.
@@ -84,7 +96,7 @@ type Config struct {
 
 func (c Config) withDefaults() (Config, error) {
 	if c.Model == nil {
-		return c, errors.New("core: Config.Model is required")
+		return c, fmt.Errorf("core: Config.Model: %w", errdefs.ErrModelRequired)
 	}
 	if c.ConvergeWindow <= 0 {
 		c.ConvergeWindow = 10
@@ -117,10 +129,22 @@ type Result struct {
 	RateChanges int           // number of probing-rate escalations
 	InitialRate float64       // the model-selected initial probing rate
 	FinalRate   float64       // the probing rate when the test ended
+	ServersUsed int           // server sessions opened (0 when the probe has no server accounting)
+	ServersLost int           // server sessions declared dead mid-test
+	Degraded    bool          // true when the test survived losing at least one server
 }
 
-// Run executes one bandwidth test over p using cfg.
+// Run executes one bandwidth test over p using cfg. It is RunContext with a
+// background context, for callers with no cancellation requirement.
 func Run(p Probe, cfg Config) (Result, error) {
+	return RunContext(context.Background(), p, cfg)
+}
+
+// RunContext executes one bandwidth test over p using cfg, honouring ctx:
+// cancellation or deadline expiry aborts the test between samples with an
+// error matching errdefs.ErrTestAborted. An already-cancelled context
+// aborts before the first rate is set — no datagram is sent.
+func RunContext(ctx context.Context, p Probe, cfg Config) (Result, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return Result{}, err
@@ -129,6 +153,9 @@ func Run(p Probe, cfg Config) (Result, error) {
 	initial := cfg.Model.MostProbableMode().Rate
 	if initial <= 0 {
 		return Result{}, fmt.Errorf("core: model's most probable mode %g is not a usable rate", initial)
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, fmt.Errorf("core: %w before start: %v", errdefs.ErrTestAborted, err)
 	}
 	rate := initial
 	cfg.Metrics.onStart()
@@ -142,6 +169,14 @@ func Run(p Probe, cfg Config) (Result, error) {
 	settle := cfg.SettleSamples
 	for p.Elapsed() < cfg.MaxDuration {
 		s, ok := p.NextSample()
+		if err := ctx.Err(); err != nil {
+			// Cancelled while (or just before) waiting on the sample.
+			cfg.Trace.Record(p.Elapsed(), obs.EventAborted, 0, 0, err.Error())
+			cfg.Metrics.onAbort()
+			res.Duration = p.Elapsed()
+			res.DataMB = p.DataMB()
+			return res, fmt.Errorf("core: %w: %v", errdefs.ErrTestAborted, err)
+		}
 		if !ok {
 			cfg.Trace.Record(p.Elapsed(), obs.EventProbeEnd, 0, 0, "")
 			break
@@ -207,6 +242,11 @@ func Run(p Probe, cfg Config) (Result, error) {
 	res.Duration = p.Elapsed()
 	res.DataMB = p.DataMB()
 	res.FinalRate = rate
+	if h, ok := p.(ServerHealth); ok {
+		res.ServersUsed = h.ServersUsed()
+		res.ServersLost = h.ServersLost()
+		res.Degraded = res.ServersLost > 0 && res.ServersUsed > res.ServersLost
+	}
 	cfg.Metrics.onFinish(res)
 	return res, nil
 }

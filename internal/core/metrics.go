@@ -12,7 +12,9 @@ type EngineMetrics struct {
 	tests       *obs.Counter
 	converged   *obs.Counter
 	timeouts    *obs.Counter
+	aborted     *obs.Counter
 	escalations *obs.Counter
+	degraded    *obs.Counter
 	duration    *obs.Histogram
 	dataMB      *obs.Histogram
 	bandwidth   *obs.Histogram
@@ -33,8 +35,12 @@ func NewEngineMetrics(reg *obs.Registry) *EngineMetrics {
 			"Tests stopped by the 3% convergence criterion."),
 		timeouts: reg.Counter("swiftest_engine_tests_timeout_total",
 			"Tests stopped by the deadline or probe exhaustion without converging."),
+		aborted: reg.Counter("swiftest_engine_tests_aborted_total",
+			"Tests aborted by context cancellation before finishing."),
 		escalations: reg.Counter("swiftest_engine_rate_escalations_total",
 			"Probing-rate escalations across all tests."),
+		degraded: reg.Counter("swiftest_engine_tests_degraded_total",
+			"Tests that finished after losing at least one server session."),
 		duration: reg.Histogram("swiftest_engine_test_duration_seconds",
 			"Probing time per test.",
 			[]float64{0.25, 0.5, 0.75, 1, 1.5, 2, 3, 4, 5, 7.5, 10}),
@@ -61,6 +67,13 @@ func (m *EngineMetrics) onEscalate() {
 	m.escalations.Inc()
 }
 
+func (m *EngineMetrics) onAbort() {
+	if m == nil {
+		return
+	}
+	m.aborted.Inc()
+}
+
 func (m *EngineMetrics) onFinish(res Result) {
 	if m == nil {
 		return
@@ -69,6 +82,9 @@ func (m *EngineMetrics) onFinish(res Result) {
 		m.converged.Inc()
 	} else {
 		m.timeouts.Inc()
+	}
+	if res.Degraded {
+		m.degraded.Inc()
 	}
 	m.duration.Observe(res.Duration.Seconds())
 	m.dataMB.Observe(res.DataMB)

@@ -1,0 +1,266 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/mobilebandwidth/swiftest/internal/faults"
+	"github.com/mobilebandwidth/swiftest/internal/linksim"
+	"github.com/mobilebandwidth/swiftest/internal/obs"
+)
+
+// SimServer describes one emulated test server in a SimPoolProbe's pool.
+// Servers are consulted nearest-first in slice order, mirroring the real
+// transport's RTT-ranked pool.
+type SimServer struct {
+	// Addr labels the server in trace events ("sim-N" when empty).
+	Addr string
+	// UplinkMbps caps the probing rate this server can source (§5.1's
+	// per-server uplink limit). Zero or negative means uncapped.
+	UplinkMbps float64
+}
+
+// SimPoolConfig parameterises a SimPoolProbe.
+type SimPoolConfig struct {
+	// Servers is the emulated pool, nearest-first. At least one required.
+	Servers []SimServer
+	// Faults optionally injects the shared fault plan. Nil injects nothing.
+	Faults *faults.Injector
+	// LostAfter is K, the consecutive zero-byte sample windows after which
+	// an assigned session is declared lost. Zero selects
+	// faults.DefaultLostWindows.
+	LostAfter int
+	// Trace, when non-nil, receives server lifecycle events (server_add,
+	// server_retry, server_lost) stamped in virtual time.
+	Trace *obs.Trace
+}
+
+// simPoolHandshakeAttempts bounds handshake retries per server, matching the
+// real transport's bound.
+const simPoolHandshakeAttempts = 5
+
+// simPoolServer is one emulated server session.
+type simPoolServer struct {
+	cfg      SimServer
+	idx      int
+	addr     string
+	flow     *linksim.Flow
+	open     bool
+	failed   bool    // handshake exhausted; never opened
+	lost     bool    // declared dead mid-test
+	assigned float64 // Mbps currently asked of this server
+	lastBits float64 // flow bits at the previous sample boundary
+	doneBits float64 // bits delivered before the flow was closed
+	tracker  *faults.LostTracker
+}
+
+// SimPoolProbe implements Probe (and ServerHealth) over a pool of emulated
+// servers sharing one access link: every server is a flow on the link, the
+// probing rate is split nearest-first under per-server uplink caps, and the
+// same fault injector that drives the real transport drives each flow's
+// impairment hook — so blackout, burst-loss and rate-cap plans exercise the
+// identical client-side failover logic under virtual time.
+type SimPoolProbe struct {
+	link    *linksim.Link
+	servers []*simPoolServer
+	inj     *faults.Injector
+	trace   *obs.Trace
+	start   time.Duration
+	rate    float64
+	used    int
+	lost    int
+}
+
+// NewSimPoolProbe attaches a multi-server probe to an emulated access link.
+// No flow is opened until the first SetRate.
+func NewSimPoolProbe(link *linksim.Link, cfg SimPoolConfig) (*SimPoolProbe, error) {
+	if len(cfg.Servers) == 0 {
+		return nil, fmt.Errorf("core: SimPoolConfig.Servers is empty")
+	}
+	sp := &SimPoolProbe{
+		link:  link,
+		inj:   cfg.Faults,
+		trace: cfg.Trace,
+		start: link.Now(),
+	}
+	for i, s := range cfg.Servers {
+		addr := s.Addr
+		if addr == "" {
+			addr = fmt.Sprintf("sim-%d", i)
+		}
+		sp.servers = append(sp.servers, &simPoolServer{
+			cfg:     s,
+			idx:     i,
+			addr:    addr,
+			tracker: faults.NewLostTracker(cfg.LostAfter),
+		})
+	}
+	return sp, nil
+}
+
+// elapsed is virtual time since the probe attached — the time base of the
+// fault plan.
+func (sp *SimPoolProbe) elapsed() time.Duration { return sp.link.Now() - sp.start }
+
+// SetRate implements Probe: it splits mbps across the pool nearest-first,
+// opening sessions (with bounded, fault-aware handshakes) as needed.
+func (sp *SimPoolProbe) SetRate(mbps float64) error {
+	if mbps < 0 {
+		return fmt.Errorf("core: negative probing rate %g", mbps)
+	}
+	sp.rate = mbps
+	sp.distribute()
+	if mbps > 0 && sp.openCount() == 0 {
+		return fmt.Errorf("core: no emulated server reachable for %.1f Mbps", mbps)
+	}
+	return nil
+}
+
+// openCount reports live sessions.
+func (sp *SimPoolProbe) openCount() int {
+	n := 0
+	for _, s := range sp.servers {
+		if s.open {
+			n++
+		}
+	}
+	return n
+}
+
+// distribute splits the current target rate across usable servers
+// nearest-first, respecting per-server uplink caps, opening sessions on
+// demand, and idling servers no longer needed.
+func (sp *SimPoolProbe) distribute() {
+	remaining := sp.rate
+	for _, s := range sp.servers {
+		if s.lost || s.failed {
+			continue
+		}
+		if remaining <= 0 {
+			s.assigned = 0
+			if s.open {
+				s.flow.SetOffered(0)
+			}
+			continue
+		}
+		take := remaining
+		if s.cfg.UplinkMbps > 0 && take > s.cfg.UplinkMbps {
+			take = s.cfg.UplinkMbps
+		}
+		if !s.open && !sp.openSession(s) {
+			continue
+		}
+		s.assigned = take
+		s.flow.SetOffered(take)
+		remaining -= take
+	}
+}
+
+// openSession performs the fault-aware handshake with server s: up to
+// simPoolHandshakeAttempts tries, each individually droppable by the plan
+// (a blacked-out server drops every attempt). Reports whether the session
+// opened; a failure marks the server unusable for the rest of the test.
+func (sp *SimPoolProbe) openSession(s *simPoolServer) bool {
+	at := sp.elapsed()
+	for attempt := 0; attempt < simPoolHandshakeAttempts; attempt++ {
+		if sp.inj.DropHandshake(s.idx, at, attempt) {
+			sp.trace.Record(at, obs.EventServerRetry, float64(attempt+1), 0, s.addr)
+			continue
+		}
+		s.open = true
+		s.flow = sp.link.NewFlow()
+		idx, inj, start := s.idx, sp.inj, sp.start
+		s.flow.SetImpairment(func(now time.Duration) linksim.Impairment {
+			rel := now - start
+			imp := linksim.Impairment{
+				Down:     inj.Blackout(idx, rel),
+				LossProb: inj.LossProb(idx, rel),
+			}
+			if capMbps, ok := inj.CapMbps(idx, rel); ok {
+				imp.CapMbps = capMbps
+			}
+			return imp
+		})
+		s.lastBits = 0
+		sp.used++
+		sp.trace.Record(at, obs.EventServerAdd, 0, s.cfg.UplinkMbps, s.addr)
+		return true
+	}
+	s.failed = true
+	sp.trace.Record(at, obs.EventError, 0, 0, "handshake failed: "+s.addr)
+	return false
+}
+
+// NextSample implements Probe: advance one sampling interval of virtual
+// time, fold per-server deliveries through the dead-session tracker, and
+// fail over — redistributing a lost server's share to the survivors.
+func (sp *SimPoolProbe) NextSample() (float64, bool) {
+	ticks := int(linksim.SampleInterval / linksim.Tick)
+	for i := 0; i < ticks; i++ {
+		sp.link.Advance()
+	}
+
+	var windowBits float64
+	failedOver := false
+	for _, s := range sp.servers {
+		if !s.open {
+			continue
+		}
+		delta := s.flow.DeliveredBytes()*8 - s.lastBits
+		s.lastBits += delta
+		windowBits += delta
+		if s.tracker.Observe(int64(delta/8), s.assigned > 0) {
+			// K consecutive silent windows on an assigned session: the
+			// server is gone. Release it and hand its share to survivors.
+			s.lost = true
+			s.open = false
+			s.doneBits = s.flow.DeliveredBytes() * 8
+			s.flow.Close()
+			sp.lost++
+			sp.trace.Record(sp.elapsed(), obs.EventServerLost, s.assigned, 0, s.addr)
+			s.assigned = 0
+			failedOver = true
+		}
+	}
+	if failedOver {
+		sp.distribute()
+		if sp.rate > 0 && sp.openCount() == 0 {
+			return 0, false // every server is gone; the probe is exhausted
+		}
+	}
+	return windowBits / linksim.SampleInterval.Seconds() / 1e6, true
+}
+
+// Elapsed implements Probe.
+func (sp *SimPoolProbe) Elapsed() time.Duration { return sp.elapsed() }
+
+// DataMB implements Probe: cumulative delivery across the whole pool,
+// including servers lost mid-test.
+func (sp *SimPoolProbe) DataMB() float64 {
+	var bits float64
+	for _, s := range sp.servers {
+		if s.open {
+			bits += s.flow.DeliveredBytes() * 8
+		} else {
+			bits += s.doneBits
+		}
+	}
+	return bits / 8 / 1e6
+}
+
+// ServersUsed implements ServerHealth.
+func (sp *SimPoolProbe) ServersUsed() int { return sp.used }
+
+// ServersLost implements ServerHealth.
+func (sp *SimPoolProbe) ServersLost() int { return sp.lost }
+
+// Close releases every live flow.
+func (sp *SimPoolProbe) Close() {
+	for _, s := range sp.servers {
+		if s.open {
+			s.doneBits = s.flow.DeliveredBytes() * 8
+			s.flow.Close()
+			s.open = false
+		}
+	}
+}

@@ -1,0 +1,44 @@
+// Package errdefs holds the structured error vocabulary shared by the
+// internal layers and re-exported by the public swiftest package. Every
+// failure a caller might want to dispatch on programmatically is one of
+// these sentinels (matched with errors.Is) or a *ServerError wrapper
+// (matched with errors.As); free-text fmt.Errorf errors always wrap one of
+// them so the cause survives the trip through the layers.
+package errdefs
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel causes for bandwidth-test failures.
+var (
+	// ErrNoServers reports a test request with an empty server pool.
+	ErrNoServers = errors.New("no servers configured")
+	// ErrNoReachableServer reports that server selection pinged every
+	// candidate and none answered.
+	ErrNoReachableServer = errors.New("no reachable test server")
+	// ErrModelRequired reports a test request without a bandwidth model.
+	ErrModelRequired = errors.New("a bandwidth model is required")
+	// ErrProbeTimeout reports a latency probe that saw no pong within its
+	// deadline.
+	ErrProbeTimeout = errors.New("probe timed out")
+	// ErrTestAborted reports a test cancelled by its context (cancellation
+	// or deadline) before completing.
+	ErrTestAborted = errors.New("test aborted")
+)
+
+// ServerError attributes a failure to one test server: which address, and
+// which protocol operation was in flight. It wraps the underlying cause, so
+// errors.Is still matches the sentinel and errors.As recovers the address.
+type ServerError struct {
+	Addr string // "host:port" of the server involved
+	Op   string // protocol operation: "ping", "handshake", "dial", ...
+	Err  error  // underlying cause
+}
+
+func (e *ServerError) Error() string {
+	return fmt.Sprintf("server %s: %s: %v", e.Addr, e.Op, e.Err)
+}
+
+func (e *ServerError) Unwrap() error { return e.Err }

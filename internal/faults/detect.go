@@ -1,0 +1,103 @@
+package faults
+
+import "time"
+
+// DefaultLostWindows is K, the number of consecutive zero-byte sample
+// windows after which a session with a positive assigned rate is declared
+// lost. At the 50 ms sampling period of §5.1 the default detects a dead
+// server within 200 ms — fast enough that a mid-test blackout costs four
+// samples, slow enough that one stalled scheduler tick does not evict a
+// healthy server.
+const DefaultLostWindows = 4
+
+// LostTracker implements the dead-session rule shared by the real UDP
+// probe and the emulated server pool: a session that was assigned a
+// positive probing rate but contributed zero bytes for K consecutive
+// sample windows is lost. One tracker per session.
+type LostTracker struct {
+	k    int
+	zero int
+}
+
+// NewLostTracker returns a tracker with threshold k; k <= 0 selects
+// DefaultLostWindows.
+func NewLostTracker(k int) *LostTracker {
+	if k <= 0 {
+		k = DefaultLostWindows
+	}
+	return &LostTracker{k: k}
+}
+
+// Observe folds one sample window: the bytes the session delivered during
+// the window, and whether the session currently owes traffic (assigned a
+// positive rate). It reports true exactly once — on the window that
+// crosses the threshold. Any delivered byte, or an idle assignment,
+// resets the count.
+func (t *LostTracker) Observe(windowBytes int64, assigned bool) bool {
+	if !assigned || windowBytes > 0 {
+		t.zero = 0
+		return false
+	}
+	t.zero++
+	return t.zero == t.k
+}
+
+// Binding scopes an Injector to one server's index in the test pool, so a
+// transport server can answer "should I act faulty right now?" without
+// knowing its own position. The host supplies elapsed time on every call
+// (wall time on a real server, virtual time in tests); a nil Binding or a
+// nil injector inject nothing, so hooks can run unconditionally.
+type Binding struct {
+	Inj    *Injector
+	Server int
+}
+
+func (b *Binding) injector() *Injector {
+	if b == nil {
+		return nil
+	}
+	return b.Inj
+}
+
+// Blackout reports whether the bound server is blacked out at elapsed
+// time at.
+func (b *Binding) Blackout(at time.Duration) bool {
+	if b == nil {
+		return false
+	}
+	return b.injector().Blackout(b.Server, at)
+}
+
+// DropHandshake reports whether a handshake attempt at elapsed time at
+// should be discarded.
+func (b *Binding) DropHandshake(at time.Duration, attempt int) bool {
+	if b == nil {
+		return false
+	}
+	return b.injector().DropHandshake(b.Server, at, attempt)
+}
+
+// DropData reports whether probe datagram seq at elapsed time at should
+// be discarded.
+func (b *Binding) DropData(at time.Duration, seq uint64) bool {
+	if b == nil {
+		return false
+	}
+	return b.injector().DropData(b.Server, at, seq)
+}
+
+// Pong reports the treatment of a pong sent at elapsed time at.
+func (b *Binding) Pong(at time.Duration) PongAction {
+	if b == nil {
+		return PongAction{Copies: 1}
+	}
+	return b.injector().Pong(b.Server, at)
+}
+
+// CapMbps reports the pacing clamp active at elapsed time at, if any.
+func (b *Binding) CapMbps(at time.Duration) (float64, bool) {
+	if b == nil {
+		return 0, false
+	}
+	return b.injector().CapMbps(b.Server, at)
+}

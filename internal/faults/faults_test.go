@@ -1,0 +1,283 @@
+package faults
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseValidPlan(t *testing.T) {
+	const js = `{
+		"seed": 7,
+		"faults": [
+			{"kind": "blackout", "server": 1, "at_ms": 1000},
+			{"kind": "handshake_drop", "server": 0, "at_ms": 0, "duration_ms": 500},
+			{"kind": "burst_loss", "server": -1, "at_ms": 250, "duration_ms": 250, "prob": 0.4},
+			{"kind": "pong_delay", "server": 2, "at_ms": 0, "delay_ms": 80},
+			{"kind": "pong_dup", "server": 2, "at_ms": 0, "dups": 2},
+			{"kind": "rate_cap", "server": 0, "at_ms": 2000, "cap_mbps": 10}
+		]
+	}`
+	p, err := Parse([]byte(js))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 7 || len(p.Faults) != 6 {
+		t.Fatalf("parsed seed=%d faults=%d", p.Seed, len(p.Faults))
+	}
+	if at := p.Faults[0].At(); at != time.Second {
+		t.Errorf("blackout At = %v, want 1s", at)
+	}
+	from, to := p.Faults[1].Window()
+	if from != 0 || to != 500*time.Millisecond {
+		t.Errorf("handshake window = [%v, %v)", from, to)
+	}
+	if _, to := p.Faults[0].Window(); to < time.Hour {
+		t.Errorf("open-ended blackout ends at %v", to)
+	}
+}
+
+func TestParseRejectsBadPlans(t *testing.T) {
+	cases := map[string]string{
+		"unknown kind":    `{"faults":[{"kind":"meteor","at_ms":0}]}`,
+		"unknown field":   `{"faults":[{"kind":"blackout","at_ms":0,"severity":9}]}`,
+		"negative time":   `{"faults":[{"kind":"blackout","at_ms":-5}]}`,
+		"bad server":      `{"faults":[{"kind":"blackout","server":-2,"at_ms":0}]}`,
+		"prob out":        `{"faults":[{"kind":"burst_loss","at_ms":0,"prob":1.5}]}`,
+		"lossless burst":  `{"faults":[{"kind":"burst_loss","at_ms":0}]}`,
+		"capless ratecap": `{"faults":[{"kind":"rate_cap","at_ms":0}]}`,
+		"delayless delay": `{"faults":[{"kind":"pong_delay","at_ms":0}]}`,
+	}
+	for name, js := range cases {
+		if _, err := Parse([]byte(js)); err == nil {
+			t.Errorf("%s: accepted %s", name, js)
+		}
+	}
+}
+
+func TestInjectorBlackoutWindowAndTargeting(t *testing.T) {
+	p := &Plan{Faults: []Fault{
+		{Kind: Blackout, Server: 1, AtMS: 1000, DurationMS: 500},
+	}}
+	inj := p.Injector()
+	if inj.Blackout(1, 999*time.Millisecond) {
+		t.Error("blackout before activation")
+	}
+	if !inj.Blackout(1, time.Second) || !inj.Blackout(1, 1400*time.Millisecond) {
+		t.Error("blackout inactive inside its window")
+	}
+	if inj.Blackout(1, 1500*time.Millisecond) {
+		t.Error("blackout after its window")
+	}
+	if inj.Blackout(0, 1200*time.Millisecond) || inj.Blackout(2, 1200*time.Millisecond) {
+		t.Error("blackout leaked to an untargeted server")
+	}
+	// AllServers targets everyone.
+	all := (&Plan{Faults: []Fault{{Kind: Blackout, Server: AllServers, AtMS: 0}}}).Injector()
+	for srv := 0; srv < 3; srv++ {
+		if !all.Blackout(srv, time.Millisecond) {
+			t.Errorf("AllServers blackout missed server %d", srv)
+		}
+	}
+}
+
+func TestInjectorDeterministicAcrossReruns(t *testing.T) {
+	p := &Plan{Seed: 42, Faults: []Fault{
+		{Kind: BurstLoss, Server: 0, AtMS: 0, Prob: 0.5},
+		{Kind: HandshakeDrop, Server: 1, AtMS: 0, Prob: 0.5},
+	}}
+	a, b := p.Injector(), p.Injector()
+	for seq := uint64(0); seq < 2000; seq++ {
+		if a.DropData(0, time.Millisecond, seq) != b.DropData(0, time.Millisecond, seq) {
+			t.Fatalf("seq %d: rerun disagreed", seq)
+		}
+	}
+	for attempt := 0; attempt < 50; attempt++ {
+		if a.DropHandshake(1, 0, attempt) != b.DropHandshake(1, 0, attempt) {
+			t.Fatalf("attempt %d: rerun disagreed", attempt)
+		}
+	}
+	// Query order must not matter: interleave two fresh injectors
+	// differently and compare a fixed probe set.
+	c, d := p.Injector(), p.Injector()
+	for seq := uint64(0); seq < 100; seq++ {
+		_ = d.DropData(0, 0, 5000+seq) // d burns unrelated queries first
+	}
+	for seq := uint64(0); seq < 100; seq++ {
+		if c.DropData(0, 0, seq) != d.DropData(0, 0, seq) {
+			t.Fatalf("seq %d: decision depended on query order", seq)
+		}
+	}
+}
+
+func TestInjectorLossRateMatchesProb(t *testing.T) {
+	p := &Plan{Seed: 1, Faults: []Fault{{Kind: BurstLoss, Server: 0, AtMS: 0, Prob: 0.3}}}
+	inj := p.Injector()
+	drops := 0
+	const n = 20000
+	for seq := uint64(0); seq < n; seq++ {
+		if inj.DropData(0, time.Millisecond, seq) {
+			drops++
+		}
+	}
+	got := float64(drops) / n
+	if math.Abs(got-0.3) > 0.02 {
+		t.Errorf("empirical drop rate %.3f, want ≈0.30", got)
+	}
+	// Outside the window nothing drops.
+	neverP := &Plan{Seed: 1, Faults: []Fault{{Kind: BurstLoss, Server: 0, AtMS: 100, DurationMS: 1, Prob: 1}}}
+	never := neverP.Injector()
+	if never.DropData(0, time.Second, 1) {
+		t.Error("drop outside the burst window")
+	}
+}
+
+func TestInjectorDifferentSeedsDiffer(t *testing.T) {
+	mk := func(seed int64) *Injector {
+		return (&Plan{Seed: seed, Faults: []Fault{{Kind: BurstLoss, Server: 0, AtMS: 0, Prob: 0.5}}}).Injector()
+	}
+	a, b := mk(1), mk(2)
+	same := 0
+	const n = 1000
+	for seq := uint64(0); seq < n; seq++ {
+		if a.DropData(0, 0, seq) == b.DropData(0, 0, seq) {
+			same++
+		}
+	}
+	if same == n {
+		t.Error("two different seeds made identical decisions on 1000 draws")
+	}
+}
+
+func TestInjectorPongActions(t *testing.T) {
+	p := &Plan{Faults: []Fault{
+		{Kind: PongDelay, Server: 0, AtMS: 0, DelayMS: 80},
+		{Kind: PongDup, Server: 0, AtMS: 0, Dups: 2},
+		{Kind: Blackout, Server: 1, AtMS: 0},
+	}}
+	inj := p.Injector()
+	act := inj.Pong(0, time.Millisecond)
+	if act.Drop || act.Delay != 80*time.Millisecond || act.Copies != 3 {
+		t.Errorf("pong action = %+v, want delay 80ms, 3 copies", act)
+	}
+	if act := inj.Pong(1, time.Millisecond); !act.Drop {
+		t.Error("blacked-out server still answers pongs")
+	}
+	if act := inj.Pong(2, time.Millisecond); act.Drop || act.Delay != 0 || act.Copies != 1 {
+		t.Errorf("unfaulted pong = %+v, want passthrough", act)
+	}
+}
+
+func TestInjectorRateCapTightestWins(t *testing.T) {
+	p := &Plan{Faults: []Fault{
+		{Kind: RateCap, Server: 0, AtMS: 0, CapMbps: 50},
+		{Kind: RateCap, Server: 0, AtMS: 0, CapMbps: 20},
+	}}
+	inj := p.Injector()
+	capMbps, ok := inj.CapMbps(0, time.Millisecond)
+	if !ok || capMbps != 20 {
+		t.Errorf("cap = %g ok=%v, want 20", capMbps, ok)
+	}
+	if _, ok := inj.CapMbps(1, time.Millisecond); ok {
+		t.Error("cap leaked to an untargeted server")
+	}
+}
+
+func TestNilInjectorAndBindingAreInert(t *testing.T) {
+	var inj *Injector
+	if inj.Blackout(0, 0) || inj.DropData(0, 0, 1) || inj.DropHandshake(0, 0, 0) {
+		t.Error("nil injector injected a fault")
+	}
+	if p := inj.LossProb(0, 0); p != 0 {
+		t.Errorf("nil injector loss prob %g", p)
+	}
+	if act := inj.Pong(0, 0); act.Drop || act.Copies != 1 {
+		t.Errorf("nil injector pong action %+v", act)
+	}
+	if _, ok := inj.CapMbps(0, 0); ok {
+		t.Error("nil injector capped the rate")
+	}
+	var b *Binding
+	if b.Blackout(0) || b.DropHandshake(0, 0) || b.DropData(0, 1) {
+		t.Error("nil binding injected a fault")
+	}
+	if act := b.Pong(0); act.Drop || act.Copies != 1 {
+		t.Errorf("nil binding pong action %+v", act)
+	}
+	var nilPlan *Plan
+	if nilPlan.Injector() != nil {
+		t.Error("nil plan produced a non-nil injector")
+	}
+	if err := nilPlan.Validate(); err != nil {
+		t.Errorf("nil plan validate: %v", err)
+	}
+}
+
+func TestBindingScopesServerIndex(t *testing.T) {
+	p := &Plan{Faults: []Fault{{Kind: Blackout, Server: 2, AtMS: 0}}}
+	inj := p.Injector()
+	hit := &Binding{Inj: inj, Server: 2}
+	miss := &Binding{Inj: inj, Server: 0}
+	if !hit.Blackout(time.Millisecond) {
+		t.Error("bound server missed its blackout")
+	}
+	if miss.Blackout(time.Millisecond) {
+		t.Error("blackout leaked through the binding")
+	}
+	if c, ok := hit.CapMbps(0); ok || c != 0 {
+		t.Error("phantom rate cap")
+	}
+}
+
+func TestLostTracker(t *testing.T) {
+	tr := NewLostTracker(3)
+	// Healthy windows never trip.
+	for i := 0; i < 10; i++ {
+		if tr.Observe(100, true) {
+			t.Fatal("tracker tripped on delivered bytes")
+		}
+	}
+	// Unassigned silence is idle, not death.
+	for i := 0; i < 10; i++ {
+		if tr.Observe(0, false) {
+			t.Fatal("tracker tripped while unassigned")
+		}
+	}
+	// Two zero windows, then a byte: reset.
+	tr.Observe(0, true)
+	tr.Observe(0, true)
+	if tr.Observe(1, true) {
+		t.Fatal("tracker tripped despite recovery")
+	}
+	// K consecutive zero windows: trips exactly once, on the Kth.
+	if tr.Observe(0, true) || tr.Observe(0, true) {
+		t.Fatal("tripped early")
+	}
+	if !tr.Observe(0, true) {
+		t.Fatal("did not trip on the Kth zero window")
+	}
+	if tr.Observe(0, true) {
+		t.Fatal("tripped twice for one death")
+	}
+}
+
+func TestLostTrackerDefaultK(t *testing.T) {
+	tr := NewLostTracker(0)
+	trips := 0
+	for i := 0; i < DefaultLostWindows; i++ {
+		if tr.Observe(0, true) {
+			trips++
+		}
+	}
+	if trips != 1 {
+		t.Errorf("default tracker tripped %d times over %d windows, want once on the last",
+			trips, DefaultLostWindows)
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load("/nonexistent/plan.json"); err == nil || !strings.Contains(err.Error(), "reading plan") {
+		t.Errorf("Load missing file: %v", err)
+	}
+}

@@ -103,6 +103,9 @@ type Link struct {
 	shapedMB   float64       // cumulative traffic counted against the shaper burst
 	dipUntil   time.Duration // episodic dip active until this virtual time
 	background *Flow         // aggregate stand-in for background users, nil if none
+
+	effScratch []float64    // per-tick effective offered rates, reused across Advance calls
+	impScratch []Impairment // per-tick impairment states, reused across Advance calls
 }
 
 // New returns a Link with the given configuration, seeded deterministically.
@@ -149,6 +152,36 @@ type Flow struct {
 	lost      bool    // loss signal observed last tick
 	closed    bool
 	queueBits float64 // this flow's share of queued bits (for per-flow RTT)
+	impair    func(at time.Duration) Impairment
+}
+
+// Impairment is the per-tick fault state applied to one flow — the
+// emulator-side hook of the fault-injection layer (package faults). The
+// zero value impairs nothing.
+type Impairment struct {
+	// Down silences the flow's sender entirely: nothing is offered and
+	// nothing is delivered, releasing the flow's fair share to the other
+	// flows — an emulated server blackout.
+	Down bool
+	// LossProb is the probability that this tick's entire delivery is
+	// lost in a burst (drawn from the link's seeded rng, so runs stay
+	// deterministic).
+	LossProb float64
+	// CapMbps, when positive, clamps the flow's offered rate — an
+	// emulated per-server rate cap.
+	CapMbps float64
+}
+
+// SetImpairment attaches a fault hook queried once per tick at the current
+// virtual time, before capacity is shared. A nil hook clears it.
+func (f *Flow) SetImpairment(h func(at time.Duration) Impairment) { f.impair = h }
+
+// impairmentNow evaluates the flow's hook at the link's current time.
+func (f *Flow) impairmentNow(at time.Duration) Impairment {
+	if f.impair == nil {
+		return Impairment{}
+	}
+	return f.impair(at)
 }
 
 // NewFlow attaches a new idle flow to the link.
@@ -249,19 +282,43 @@ func (l *Link) Advance() {
 		l.background.offered = l.cfg.CapacityMbps * float64(l.cfg.BackgroundFlows)
 	}
 
+	// Evaluate per-flow impairments (the fault-injection hook) and derive
+	// the effective offered rates the link actually sees this tick.
+	if cap(l.effScratch) < len(l.flows) {
+		l.effScratch = make([]float64, len(l.flows))
+		l.impScratch = make([]Impairment, len(l.flows))
+	}
+	eff := l.effScratch[:len(l.flows)]
+	imps := l.impScratch[:len(l.flows)]
+	for i, f := range l.flows {
+		imp := f.impairmentNow(l.now)
+		imps[i] = imp
+		eff[i] = f.offered
+		if imp.Down {
+			eff[i] = 0
+		} else if imp.CapMbps > 0 && eff[i] > imp.CapMbps {
+			eff[i] = imp.CapMbps
+		}
+	}
+
 	cap := l.capacityNow()
-	shares := l.fairShare(cap)
+	shares := l.fairShare(cap, eff)
 
 	tickSec := Tick.Seconds()
 	var offeredSum float64
 	for i, f := range l.flows {
 		f.lost = false
 		granted := shares[i]
+		if p := imps[i].LossProb; p > 0 && granted > 0 && l.rng.Float64() < p {
+			// Burst loss: the whole tick's delivery vanishes.
+			granted = 0
+			f.lost = true
+		}
 		f.achieved = granted
 		deliveredBits := granted * 1e6 * tickSec
 		f.bits += deliveredBits
-		offeredSum += f.offered
-		if l.cfg.LossRate > 0 && f.offered > 0 && l.rng.Float64() < l.cfg.LossRate {
+		offeredSum += eff[i]
+		if l.cfg.LossRate > 0 && eff[i] > 0 && l.rng.Float64() < l.cfg.LossRate {
 			f.lost = true
 		}
 	}
@@ -281,7 +338,7 @@ func (l *Link) Advance() {
 	if l.queueBits > bufferBits {
 		l.queueBits = bufferBits
 		for i, f := range l.flows {
-			if f.offered > shares[i] {
+			if eff[i] > shares[i] {
 				f.lost = true
 			}
 		}
@@ -300,8 +357,9 @@ func (l *Link) Advance() {
 }
 
 // fairShare allocates cap Mbps across flows max-min fairly given their
-// offered rates. The returned slice is indexed like l.flows.
-func (l *Link) fairShare(cap float64) []float64 {
+// effective offered rates (post-impairment). The returned slice is indexed
+// like l.flows.
+func (l *Link) fairShare(cap float64, offered []float64) []float64 {
 	n := len(l.flows)
 	shares := make([]float64, n)
 	if n == 0 {
@@ -309,8 +367,8 @@ func (l *Link) fairShare(cap float64) []float64 {
 	}
 	remaining := cap
 	active := make([]int, 0, n)
-	for i, f := range l.flows {
-		if f.offered > 0 {
+	for i := range l.flows {
+		if offered[i] > 0 {
 			active = append(active, i)
 		}
 	}
@@ -320,7 +378,7 @@ func (l *Link) fairShare(cap float64) []float64 {
 		progressed := false
 		next := active[:0]
 		for _, i := range active {
-			want := l.flows[i].offered - shares[i]
+			want := offered[i] - shares[i]
 			if want <= equal {
 				shares[i] += want
 				remaining -= want

@@ -354,3 +354,85 @@ func TestNoDipsWithoutConfig(t *testing.T) {
 		}
 	}
 }
+
+func TestImpairmentDownSilencesFlowAndFreesCapacity(t *testing.T) {
+	l := MustNew(Config{CapacityMbps: 100, RTT: 40 * time.Millisecond}, 1)
+	a := l.NewFlow()
+	b := l.NewFlow()
+	a.SetOffered(80)
+	b.SetOffered(80)
+	// Down from 500 ms of virtual time onward.
+	a.SetImpairment(func(at time.Duration) Impairment {
+		return Impairment{Down: at >= 500*time.Millisecond}
+	})
+
+	l.RunFor(400 * time.Millisecond)
+	if a.Achieved() < 40 || b.Achieved() < 40 {
+		t.Fatalf("before the fault both flows should share ≈50/50, got a=%.1f b=%.1f",
+			a.Achieved(), b.Achieved())
+	}
+	l.RunFor(300 * time.Millisecond) // well past the activation edge
+	if a.Achieved() != 0 {
+		t.Errorf("down flow still achieves %.1f Mbps", a.Achieved())
+	}
+	if b.Achieved() < 75 {
+		t.Errorf("survivor should absorb the freed capacity, achieves %.1f Mbps", b.Achieved())
+	}
+}
+
+func TestImpairmentCapClampsFlow(t *testing.T) {
+	l := MustNew(Config{CapacityMbps: 100, RTT: 40 * time.Millisecond}, 1)
+	f := l.NewFlow()
+	f.SetOffered(90)
+	f.SetImpairment(func(time.Duration) Impairment { return Impairment{CapMbps: 10} })
+	l.RunFor(200 * time.Millisecond)
+	if f.Achieved() > 10.001 {
+		t.Errorf("capped flow achieves %.2f Mbps, want ≤10", f.Achieved())
+	}
+}
+
+func TestImpairmentBurstLossDropsTicksDeterministically(t *testing.T) {
+	run := func() (delivered float64, lossTicks int) {
+		l := MustNew(Config{CapacityMbps: 100, RTT: 40 * time.Millisecond}, 7)
+		f := l.NewFlow()
+		f.SetOffered(50)
+		f.SetImpairment(func(time.Duration) Impairment { return Impairment{LossProb: 0.5} })
+		for i := 0; i < 200; i++ {
+			l.Advance()
+			if f.LossSignal() {
+				lossTicks++
+			}
+		}
+		return f.DeliveredBytes(), lossTicks
+	}
+	d1, t1 := run()
+	d2, t2 := run()
+	if d1 != d2 || t1 != t2 {
+		t.Fatalf("seed-fixed burst loss not deterministic: (%.0f,%d) vs (%.0f,%d)", d1, t1, d2, t2)
+	}
+	if t1 < 60 || t1 > 140 {
+		t.Errorf("loss ticks = %d of 200 at p=0.5, implausible", t1)
+	}
+	// Roughly half the ticks deliver: delivered ≈ 50 Mbps × 2 s × ~0.5.
+	full := 50.0 * 1e6 * 2 / 8
+	frac := d1 / full
+	if frac < 0.3 || frac > 0.7 {
+		t.Errorf("delivered fraction under 50%% burst loss = %.2f", frac)
+	}
+}
+
+func TestNoImpairmentMatchesBaselineExactly(t *testing.T) {
+	run := func(hook bool) float64 {
+		l := MustNew(Config{CapacityMbps: 80, RTT: 40 * time.Millisecond, Fluctuation: 0.05, LossRate: 0.01}, 3)
+		f := l.NewFlow()
+		f.SetOffered(60)
+		if hook {
+			f.SetImpairment(func(time.Duration) Impairment { return Impairment{} })
+		}
+		l.RunFor(time.Second)
+		return f.DeliveredBytes()
+	}
+	if a, b := run(false), run(true); a != b {
+		t.Errorf("a zero-impairment hook changed delivery: %.0f vs %.0f", a, b)
+	}
+}

@@ -22,11 +22,17 @@ import (
 //   - a //lint:allow ctxflow directive documents why its lifetime is
 //     managed another way (e.g. a constructor whose goroutine is bounded
 //     by Close).
+//
+// Beyond goroutine spawns and read loops, the analyzer also flags exported
+// functions that park in time.Sleep: a sleep cannot be interrupted by any
+// caller, so cancellable paths must wait in a timer/ctx select instead.
+// Blocking reads outside loops are held to the same deadline-or-context
+// standard as read loops — a single unbounded Read wedges just as hard.
 var CtxFlow = &Analyzer{
 	Name: "ctxflow",
 	Doc: "flags exported functions in network-facing packages that spawn " +
-		"goroutines or loop on blocking network reads without a " +
-		"context.Context or deadline",
+		"goroutines, block on network reads, or park in time.Sleep without " +
+		"a context.Context or deadline",
 	Run: runCtxFlow,
 }
 
@@ -91,9 +97,32 @@ func checkCtxFlow(pass *Pass, fn *ast.FuncDecl) {
 		return
 	}
 
+	// First pass: collect loop extents, so the single-read rule can tell a
+	// lone blocking read from one already governed by the loop rule.
+	type span struct{ lo, hi int }
+	var loops []span
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			loops = append(loops, span{int(n.Pos()), int(n.End())})
+		}
+		return true
+	})
+	inLoop := func(n ast.Node) bool {
+		p := int(n.Pos())
+		for _, s := range loops {
+			if p >= s.lo && p < s.hi {
+				return true
+			}
+		}
+		return false
+	}
+
 	var (
 		firstGo      ast.Node
 		firstNetLoop ast.Node
+		firstRead    ast.Node // blocking read outside any loop
+		firstSleep   ast.Node // time.Sleep call
 		bounded      bool
 	)
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
@@ -108,12 +137,22 @@ func checkCtxFlow(pass *Pass, fn *ast.FuncDecl) {
 			}
 		case *ast.CallExpr:
 			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if blockingReadFuncs[sel.Sel.Name] && firstRead == nil && !inLoop(n) {
+					firstRead = n
+				}
 				if deadlineFuncs[sel.Sel.Name] {
 					bounded = true
 				}
-				if base, ok := sel.X.(*ast.Ident); ok && ctxDeriveFuncs[sel.Sel.Name] {
-					if pkg, ok := pass.Info.Uses[base].(*types.PkgName); ok && pkg.Imported().Path() == "context" {
-						bounded = true
+				if base, ok := sel.X.(*ast.Ident); ok {
+					if ctxDeriveFuncs[sel.Sel.Name] {
+						if pkg, ok := pass.Info.Uses[base].(*types.PkgName); ok && pkg.Imported().Path() == "context" {
+							bounded = true
+						}
+					}
+					if sel.Sel.Name == "Sleep" && firstSleep == nil {
+						if pkg, ok := pass.Info.Uses[base].(*types.PkgName); ok && pkg.Imported().Path() == "time" {
+							firstSleep = n
+						}
 					}
 				}
 			}
@@ -129,6 +168,16 @@ func checkCtxFlow(pass *Pass, fn *ast.FuncDecl) {
 	if firstNetLoop != nil && !bounded {
 		pass.Reportf(fn.Name.Pos(),
 			"exported %s loops on blocking network reads with no context.Context and no deadline — it cannot be cancelled by callers",
+			fn.Name.Name)
+	}
+	if firstRead != nil && !bounded {
+		pass.Reportf(fn.Name.Pos(),
+			"exported %s blocks on a network read with no context.Context and no deadline — it cannot be cancelled by callers",
+			fn.Name.Name)
+	}
+	if firstSleep != nil {
+		pass.Reportf(fn.Name.Pos(),
+			"exported %s parks in time.Sleep but accepts no context.Context — wait in a timer/ctx select, or annotate //lint:allow ctxflow <why the sleep is safe>",
 			fn.Name.Name)
 	}
 }

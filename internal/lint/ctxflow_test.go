@@ -71,6 +71,26 @@ func drain(conn net.Conn) {
 		}
 	}
 }
+
+func ReadOnce(conn net.Conn) error { // want "exported ReadOnce blocks on a network read with no context.Context and no deadline"
+	buf := make([]byte, 1500)
+	_, err := conn.Read(buf)
+	return err
+}
+
+func ReadOnceDeadline(conn net.Conn) error {
+	_ = conn.SetReadDeadline(deadline())
+	buf := make([]byte, 1500)
+	_, err := conn.Read(buf)
+	return err
+}
+
+func ReadOnceCtx(ctx context.Context, conn net.Conn) error {
+	buf := make([]byte, 1500)
+	_, err := conn.Read(buf)
+	_ = ctx
+	return err
+}
 `
 
 const ctxflowFixtureTail = `package transport
@@ -80,6 +100,19 @@ import "time"
 func deadline() time.Time { return time.Time{} }
 
 func timeout() time.Duration { return time.Second }
+
+func Nap() { // want "exported Nap parks in time.Sleep but accepts no context.Context"
+	time.Sleep(time.Second)
+}
+
+//lint:allow ctxflow settling pause bounded by the test duration
+func NapAllowed() {
+	time.Sleep(time.Second)
+}
+
+func nap() {
+	time.Sleep(time.Second)
+}
 `
 
 // TestCtxFlowEnforced: in an enforced package, goroutine spawns and

@@ -28,6 +28,9 @@ const (
 	EventTimeout       = "timeout"         // value = trailing-window bandwidth at the deadline
 	EventProbeEnd      = "probe_exhausted" // the probe stopped producing samples
 	EventServerAdd     = "server_add"      // aux = server uplink (Mbps), note = server address
+	EventServerRetry   = "server_retry"    // value = attempt number, note = server address
+	EventServerLost    = "server_lost"     // value = lost rate share (Mbps), note = server address
+	EventAborted       = "aborted"         // the test's context was cancelled; note = cause
 	EventError         = "error"           // note = error text
 )
 

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -11,24 +12,33 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/mobilebandwidth/swiftest/internal/errdefs"
+	"github.com/mobilebandwidth/swiftest/internal/faults"
 	"github.com/mobilebandwidth/swiftest/internal/obs"
 	"github.com/mobilebandwidth/swiftest/internal/wire"
 )
 
 // PingServer measures the round-trip latency to one server with count pings
 // and returns the minimum RTT observed, the standard BTS server-selection
-// metric (§2). It returns an error if no pong arrives within timeout.
+// metric (§2). It is PingServerContext with a background context.
 func PingServer(addr string, count int, timeout time.Duration) (time.Duration, error) {
+	return PingServerContext(context.Background(), addr, count, timeout)
+}
+
+// PingServerContext is PingServer honouring ctx: cancellation stops the ping
+// exchange early. Failure to elicit any pong yields an error matching both
+// errdefs.ErrProbeTimeout and errdefs.ServerError.
+func PingServerContext(ctx context.Context, addr string, count int, timeout time.Duration) (time.Duration, error) {
 	if count <= 0 {
 		count = 3
 	}
 	raddr, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
-		return 0, fmt.Errorf("transport: resolving %q: %w", addr, err)
+		return 0, &errdefs.ServerError{Addr: addr, Op: "ping", Err: err}
 	}
 	conn, err := net.DialUDP("udp", nil, raddr)
 	if err != nil {
-		return 0, fmt.Errorf("transport: dialing %q: %w", addr, err)
+		return 0, &errdefs.ServerError{Addr: addr, Op: "ping", Err: err}
 	}
 	defer conn.Close()
 
@@ -36,13 +46,24 @@ func PingServer(addr string, count int, timeout time.Duration) (time.Duration, e
 	buf := make([]byte, 256)
 	out := make([]byte, 0, wire.PingLen)
 	for i := 0; i < count; i++ {
+		if err := ctx.Err(); err != nil {
+			if best >= 0 {
+				return best, nil // partial measurement still useful
+			}
+			return 0, &errdefs.ServerError{Addr: addr, Op: "ping",
+				Err: fmt.Errorf("%w: %v", errdefs.ErrTestAborted, err)}
+		}
 		seq := uint32(i + 1)
 		ping := wire.Ping{Seq: seq, SentNS: uint64(time.Now().UnixNano())}
 		out = ping.AppendTo(out[:0])
 		if _, err := conn.Write(out); err != nil {
-			return 0, fmt.Errorf("transport: sending ping: %w", err)
+			return 0, &errdefs.ServerError{Addr: addr, Op: "ping", Err: err}
 		}
-		if err := conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+		deadline := time.Now().Add(timeout)
+		if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+			deadline = d
+		}
+		if err := conn.SetReadDeadline(deadline); err != nil {
 			return 0, err
 		}
 		for {
@@ -62,7 +83,8 @@ func PingServer(addr string, count int, timeout time.Duration) (time.Duration, e
 		}
 	}
 	if best < 0 {
-		return 0, fmt.Errorf("transport: no pong from %s within %v", addr, timeout)
+		return 0, &errdefs.ServerError{Addr: addr, Op: "ping",
+			Err: fmt.Errorf("no pong within %v: %w", timeout, errdefs.ErrProbeTimeout)}
 	}
 	return best, nil
 }
@@ -82,23 +104,57 @@ type PoolServer struct {
 	RTT time.Duration
 }
 
+// rankConcurrency bounds the goroutines RankByLatency fans out, so a huge
+// candidate list cannot open hundreds of sockets at once.
+const rankConcurrency = 8
+
 // RankByLatency pings every server and sorts the pool by ascending RTT,
-// dropping unreachable servers. It returns an error if no server responded.
+// dropping unreachable servers. It is RankByLatencyContext with a background
+// context.
 func (p *ServerPool) RankByLatency(pingCount int, timeout time.Duration) error {
+	return p.RankByLatencyContext(context.Background(), pingCount, timeout)
+}
+
+// RankByLatencyContext pings all servers concurrently (bounded fan-out) and
+// sorts the pool by ascending RTT, dropping unreachable servers. Ties keep
+// the caller's original order, so the ranking is deterministic given the RTT
+// measurements. It returns an error matching errdefs.ErrNoReachableServer if
+// no server responded.
+func (p *ServerPool) RankByLatencyContext(ctx context.Context, pingCount int, timeout time.Duration) error {
+	candidates := len(p.Servers)
+	rtts := make([]time.Duration, candidates)
+	errs := make([]error, candidates)
+	sem := make(chan struct{}, rankConcurrency)
+	var wg sync.WaitGroup
+	for i := range p.Servers {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			rtts[i], errs[i] = PingServerContext(ctx, p.Servers[i].Addr, pingCount, timeout)
+		}(i)
+	}
+	wg.Wait()
+
+	// Filter in original order, then stable-sort: equal RTTs preserve the
+	// configured order, keeping the ranking reproducible.
 	reachable := p.Servers[:0]
-	for _, srv := range p.Servers {
-		rtt, err := PingServer(srv.Addr, pingCount, timeout)
-		if err != nil {
+	for i, srv := range p.Servers {
+		if errs[i] != nil {
 			continue
 		}
-		srv.RTT = rtt
+		srv.RTT = rtts[i]
 		reachable = append(reachable, srv)
 	}
 	p.Servers = reachable
 	if len(p.Servers) == 0 {
-		return errors.New("transport: no reachable test server")
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("transport: ranking servers: %w: %v", errdefs.ErrTestAborted, err)
+		}
+		return fmt.Errorf("transport: %w (tried %d)", errdefs.ErrNoReachableServer, candidates)
 	}
-	sort.Slice(p.Servers, func(i, j int) bool { return p.Servers[i].RTT < p.Servers[j].RTT })
+	sort.SliceStable(p.Servers, func(i, j int) bool { return p.Servers[i].RTT < p.Servers[j].RTT })
 	return nil
 }
 
@@ -106,30 +162,51 @@ func (p *ServerPool) RankByLatency(pingCount int, timeout time.Duration) error {
 // with a little headroom (§5.1). It never returns an empty set while the
 // pool is non-empty.
 func (p *ServerPool) serversFor(rateMbps float64) []PoolServer {
-	const headroom = 1.05
 	var out []PoolServer
 	var total float64
 	for _, srv := range p.Servers {
 		out = append(out, srv)
 		total += srv.UplinkMbps
-		if total >= rateMbps*headroom {
+		if total >= rateMbps*uplinkHeadroom {
 			break
 		}
 	}
 	return out
 }
 
+// uplinkHeadroom over-provisions the selected server set slightly beyond the
+// probing rate (§5.1 "slightly exceeds").
+const uplinkHeadroom = 1.05
+
+// handshakeAttempts bounds session-setup retries per server.
+const handshakeAttempts = 5
+
+// handshakeTimeout is the per-attempt wait for a TestAccept.
+const handshakeTimeout = 200 * time.Millisecond
+
 // UDPProbe implements core.Probe over real UDP sockets against a pool of
 // test servers. It opens one session per server as the requested probing
-// rate grows, splitting the rate across sessions in latency order.
+// rate grows, splitting the rate across sessions in latency order, and fails
+// over mid-test: a session that was assigned rate but delivered nothing for
+// K consecutive sample windows is declared lost, its share moving to the
+// surviving servers.
 type UDPProbe struct {
 	pool    *ServerPool
 	testID  uint64
 	started time.Time
 	trace   *obs.Trace
+	ctx     context.Context
 
-	mu       sync.Mutex
-	sessions []*clientSession // guarded by mu
+	mu         sync.Mutex
+	sessions   []*clientSession // guarded by mu; lost sessions keep their slot
+	nextServer int              // next unopened pool index; guarded by mu
+	targetMbps float64          // guarded by mu
+	used       int              // sessions opened; guarded by mu
+	lost       int              // sessions declared dead; guarded by mu
+
+	lostAfter    int // K zero-byte windows before a session is lost
+	lostCounter  *obs.Counter
+	retryCounter *obs.Counter
 
 	rateSeq     atomic.Uint32
 	rxBytes     atomic.Int64
@@ -150,16 +227,33 @@ type clientSession struct {
 	server PoolServer
 	probe  *UDPProbe
 	done   chan struct{}
+
+	rxBytes  atomic.Int64
+	lastRx   int64   // NextSample's window cursor; sampling goroutine only
+	assigned float64 // Mbps currently asked of this server; probe.mu held for access
+	lost     bool    // probe.mu held for access
+	tracker  *faults.LostTracker
 }
 
 // SampleInterval is the client's sampling period, matching §5.1's 50 ms.
 const SampleInterval = 50 * time.Millisecond
 
 // NewUDPProbe prepares a probe against the ranked pool. The probe is idle
-// until the first SetRate.
+// until the first SetRate. It is NewUDPProbeContext with a background
+// context.
 func NewUDPProbe(pool *ServerPool, rng *rand.Rand) (*UDPProbe, error) {
+	return NewUDPProbeContext(context.Background(), pool, rng)
+}
+
+// NewUDPProbeContext prepares a probe whose handshakes and sample waits
+// honour ctx: cancellation makes the next NextSample return !ok and stops
+// handshake retries.
+func NewUDPProbeContext(ctx context.Context, pool *ServerPool, rng *rand.Rand) (*UDPProbe, error) {
 	if len(pool.Servers) == 0 {
-		return nil, errors.New("transport: empty server pool")
+		return nil, fmt.Errorf("transport: %w: empty server pool", errdefs.ErrNoServers)
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	now := time.Now()
 	return &UDPProbe{
@@ -168,6 +262,8 @@ func NewUDPProbe(pool *ServerPool, rng *rand.Rand) (*UDPProbe, error) {
 		started:        now,
 		lastSample:     now,
 		sampleInterval: SampleInterval,
+		lostAfter:      faults.DefaultLostWindows,
+		ctx:            ctx,
 	}, nil
 }
 
@@ -176,8 +272,30 @@ func NewUDPProbe(pool *ServerPool, rng *rand.Rand) (*UDPProbe, error) {
 func (p *UDPProbe) TestID() uint64 { return p.testID }
 
 // SetTrace attaches a tracer that receives transport-level events (server
-// additions). Call before the first SetRate; a nil tracer disables emission.
+// additions, handshake retries, lost sessions). Call before the first
+// SetRate; a nil tracer disables emission.
 func (p *UDPProbe) SetTrace(tr *obs.Trace) { p.trace = tr }
+
+// SetLostAfter overrides K, the consecutive zero-byte sample windows after
+// which an assigned session is declared lost. Call before the first SetRate;
+// k <= 0 keeps the default.
+func (p *UDPProbe) SetLostAfter(k int) {
+	if k > 0 {
+		p.lostAfter = k
+	}
+}
+
+// SetMetrics registers the client-side metric series on reg. Call before the
+// first SetRate; a nil registry disables instrumentation.
+func (p *UDPProbe) SetMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	p.lostCounter = reg.Counter("swiftest_client_sessions_lost_total",
+		"Server sessions declared dead mid-test and failed over.")
+	p.retryCounter = reg.Counter("swiftest_client_handshake_retries_total",
+		"Session-setup attempts that needed retransmission.")
+}
 
 // SetRate implements core.Probe: it sizes the server set for mbps and
 // distributes the rate across sessions in latency order.
@@ -197,35 +315,65 @@ func (p *UDPProbe) SetRate(mbps float64) error {
 	if p.closed.Load() {
 		return errors.New("transport: probe closed")
 	}
-	targets := p.pool.serversFor(mbps)
-
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	// Open sessions for any newly needed servers; failures shrink the
-	// target set instead of failing the test.
-	for len(p.sessions) < len(targets) {
-		sess, err := p.openSession(targets[len(p.sessions)])
+	p.targetMbps = mbps
+	p.redistributeLocked()
+	if mbps > 0 && p.liveCountLocked() == 0 {
+		return fmt.Errorf("transport: %w: no test server accepted the session",
+			errdefs.ErrNoReachableServer)
+	}
+	return nil
+}
+
+func (p *UDPProbe) liveCountLocked() int {
+	n := 0
+	for _, sess := range p.sessions {
+		if !sess.lost {
+			n++
+		}
+	}
+	return n
+}
+
+// redistributeLocked splits the current target rate across live sessions
+// nearest-first, opening new sessions (skipping servers that refuse) until
+// the live uplink covers the target with headroom, then pushes the new
+// shares to every live server. Callers hold p.mu.
+func (p *UDPProbe) redistributeLocked() {
+	// Uplink already live.
+	var covered float64
+	for _, sess := range p.sessions {
+		if !sess.lost {
+			covered += sess.server.UplinkMbps
+		}
+	}
+	// Open more servers while coverage falls short; failures shrink the
+	// candidate set instead of failing the test.
+	for covered < p.targetMbps*uplinkHeadroom && p.nextServer < len(p.pool.Servers) {
+		srv := p.pool.Servers[p.nextServer]
+		p.nextServer++
+		sess, err := p.openSessionLocked(srv)
 		if err != nil {
-			targets = targets[:len(p.sessions)]
-			break
+			continue
 		}
 		p.sessions = append(p.sessions, sess)
+		covered += srv.UplinkMbps
 	}
-	if len(p.sessions) == 0 {
-		return errors.New("transport: no test server accepted the session")
-	}
-	// Split the rate: each server takes up to its uplink, nearest first.
-	remaining := mbps
+	// Split the rate: each live server takes up to its uplink, nearest
+	// first; then push shares on the wire.
+	remaining := p.targetMbps
 	seq := p.rateSeq.Add(1)
-	for i, sess := range p.sessions {
-		share := 0.0
-		if i < len(targets) {
-			share = remaining
-			if share > sess.server.UplinkMbps {
-				share = sess.server.UplinkMbps
-			}
-			remaining -= share
+	for _, sess := range p.sessions {
+		if sess.lost {
+			continue
 		}
+		share := remaining
+		if share > sess.server.UplinkMbps {
+			share = sess.server.UplinkMbps
+		}
+		remaining -= share
+		sess.assigned = share
 		rs := wire.RateSet{TestID: p.testID, RateKbps: wire.KbpsFromMbps(share), Seq: seq}
 		buf := rs.AppendTo(make([]byte, 0, wire.RateSetLen))
 		// Send twice: RateSet is idempotent; send errors are UDP loss.
@@ -233,19 +381,19 @@ func (p *UDPProbe) SetRate(mbps float64) error {
 			_, _ = sess.conn.Write(buf)
 		}
 	}
-	return nil
 }
 
-// openSession dials one server, performs the TestRequest/TestAccept
-// handshake, and starts the receive loop. Callers hold p.mu.
-func (p *UDPProbe) openSession(server PoolServer) (*clientSession, error) {
+// openSessionLocked dials one server, performs the TestRequest/TestAccept
+// handshake with bounded retries, and starts the receive loop. Callers hold
+// p.mu.
+func (p *UDPProbe) openSessionLocked(server PoolServer) (*clientSession, error) {
 	raddr, err := net.ResolveUDPAddr("udp", server.Addr)
 	if err != nil {
-		return nil, fmt.Errorf("transport: resolving %q: %w", server.Addr, err)
+		return nil, &errdefs.ServerError{Addr: server.Addr, Op: "handshake", Err: err}
 	}
 	conn, err := net.DialUDP("udp", nil, raddr)
 	if err != nil {
-		return nil, fmt.Errorf("transport: dialing %q: %w", server.Addr, err)
+		return nil, &errdefs.ServerError{Addr: server.Addr, Op: "handshake", Err: err}
 	}
 	if err := conn.SetReadBuffer(4 << 20); err != nil {
 		// Non-fatal: the default buffer just loses more under burst.
@@ -256,12 +404,21 @@ func (p *UDPProbe) openSession(server PoolServer) (*clientSession, error) {
 	reqBuf := req.AppendTo(make([]byte, 0, wire.TestRequestLen))
 	buf := make([]byte, 2048)
 	accepted := false
-	for attempt := 0; attempt < 5 && !accepted; attempt++ {
+	for attempt := 0; attempt < handshakeAttempts && !accepted; attempt++ {
+		if err := p.ctx.Err(); err != nil {
+			conn.Close()
+			return nil, &errdefs.ServerError{Addr: server.Addr, Op: "handshake",
+				Err: fmt.Errorf("%w: %v", errdefs.ErrTestAborted, err)}
+		}
+		if attempt > 0 {
+			p.retryCounter.Inc()
+			p.trace.Record(p.Elapsed(), obs.EventServerRetry, float64(attempt), 0, server.Addr)
+		}
 		if _, err := conn.Write(reqBuf); err != nil {
 			conn.Close()
-			return nil, fmt.Errorf("transport: test request to %s: %w", server.Addr, err)
+			return nil, &errdefs.ServerError{Addr: server.Addr, Op: "handshake", Err: err}
 		}
-		_ = conn.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+		_ = conn.SetReadDeadline(time.Now().Add(handshakeTimeout))
 		for {
 			n, err := conn.Read(buf)
 			if err != nil {
@@ -276,11 +433,19 @@ func (p *UDPProbe) openSession(server PoolServer) (*clientSession, error) {
 	}
 	if !accepted {
 		conn.Close()
-		return nil, fmt.Errorf("transport: %s did not accept test %d", server.Addr, p.testID)
+		return nil, &errdefs.ServerError{Addr: server.Addr, Op: "handshake",
+			Err: fmt.Errorf("no accept after %d attempts: %w", handshakeAttempts, errdefs.ErrProbeTimeout)}
 	}
 	_ = conn.SetReadDeadline(time.Time{})
 
-	sess := &clientSession{conn: conn, server: server, probe: p, done: make(chan struct{})}
+	sess := &clientSession{
+		conn:    conn,
+		server:  server,
+		probe:   p,
+		done:    make(chan struct{}),
+		tracker: faults.NewLostTracker(p.lostAfter),
+	}
+	p.used++
 	p.trace.Record(p.Elapsed(), obs.EventServerAdd, 0, server.UplinkMbps, server.Addr)
 	go sess.receiveLoop()
 	return sess, nil
@@ -306,6 +471,7 @@ func (cs *clientSession) receiveLoop() {
 		if err != nil || typ != wire.TypeData {
 			continue
 		}
+		cs.rxBytes.Add(int64(n))
 		cs.probe.rxBytes.Add(int64(n))
 		cs.probe.observeJitter(buf[:n])
 	}
@@ -345,15 +511,26 @@ func (p *UDPProbe) Jitter() time.Duration {
 	return time.Duration(math.Float64frombits(p.jitterNs.Load()))
 }
 
-// NextSample implements core.Probe: it sleeps until the next sampling
-// boundary and reports the throughput observed in the window.
+// NextSample implements core.Probe: it waits until the next sampling
+// boundary (abandoning the wait if the probe's context is cancelled),
+// reports the throughput observed in the window, and folds each session's
+// delivery through the dead-session detector — failing over when a session
+// that owes traffic has been silent for K consecutive windows.
+//
+//lint:allow ctxflow the wait is bounded by the sampling interval and the probe's stored context
 func (p *UDPProbe) NextSample() (float64, bool) {
 	if p.closed.Load() {
 		return 0, false
 	}
 	next := p.lastSample.Add(p.sampleInterval)
 	if d := time.Until(next); d > 0 {
-		time.Sleep(d)
+		timer := time.NewTimer(d)
+		select {
+		case <-timer.C:
+		case <-p.ctx.Done():
+			timer.Stop()
+			return 0, false
+		}
 	}
 	now := time.Now()
 	elapsed := now.Sub(p.lastSample).Seconds()
@@ -364,7 +541,49 @@ func (p *UDPProbe) NextSample() (float64, bool) {
 	bytes := rx - p.lastRxBytes
 	p.lastRxBytes = rx
 	p.lastSample = now
+
+	p.detectLostSessions()
+
+	p.mu.Lock()
+	alive := p.liveCountLocked() > 0 || p.targetMbps == 0
+	p.mu.Unlock()
+	if !alive {
+		return 0, false // every server is gone; the probe is exhausted
+	}
 	return float64(bytes) * 8 / elapsed / 1e6, true
+}
+
+// detectLostSessions folds the last window's per-session deliveries through
+// each tracker and fails over any session declared dead: its share is
+// redistributed to the survivors and its socket closed.
+func (p *UDPProbe) detectLostSessions() {
+	var toClose []*clientSession
+	p.mu.Lock()
+	failedOver := false
+	for _, sess := range p.sessions {
+		if sess.lost {
+			continue
+		}
+		rx := sess.rxBytes.Load()
+		window := rx - sess.lastRx
+		sess.lastRx = rx
+		if sess.tracker.Observe(window, sess.assigned > 0) {
+			sess.lost = true
+			p.lost++
+			p.lostCounter.Inc()
+			p.trace.Record(p.Elapsed(), obs.EventServerLost, sess.assigned, 0, sess.server.Addr)
+			sess.assigned = 0
+			toClose = append(toClose, sess)
+			failedOver = true
+		}
+	}
+	if failedOver {
+		p.redistributeLocked()
+	}
+	p.mu.Unlock()
+	for _, sess := range toClose {
+		sess.conn.Close() // unblocks the receive loop
+	}
 }
 
 // Elapsed implements core.Probe.
@@ -372,6 +591,20 @@ func (p *UDPProbe) Elapsed() time.Duration { return time.Since(p.started) }
 
 // DataMB implements core.Probe.
 func (p *UDPProbe) DataMB() float64 { return float64(p.rxBytes.Load()) / 1e6 }
+
+// ServersUsed implements core.ServerHealth.
+func (p *UDPProbe) ServersUsed() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.used
+}
+
+// ServersLost implements core.ServerHealth.
+func (p *UDPProbe) ServersLost() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.lost
+}
 
 // Finish reports the result to every session's server and closes the probe.
 func (p *UDPProbe) Finish(resultMbps float64, duration time.Duration) {
@@ -388,7 +621,9 @@ func (p *UDPProbe) Finish(resultMbps float64, duration time.Duration) {
 	}
 	buf := fin.AppendTo(make([]byte, 0, wire.FinLen))
 	for _, sess := range sessions {
-		_, _ = sess.conn.Write(buf)
+		if !sess.lost {
+			_, _ = sess.conn.Write(buf)
+		}
 		sess.conn.Close()
 		<-sess.done
 	}

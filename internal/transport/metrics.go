@@ -18,6 +18,7 @@ type serverMetrics struct {
 	bytesSent        *obs.Counter
 	sendErrors       *obs.Counter
 	rateClamped      *obs.Counter
+	faultsInjected   *obs.Counter
 	pings            *obs.Counter
 	pacedMbps        *obs.Gauge
 	uplinkMbps       *obs.Gauge
@@ -47,6 +48,8 @@ func newServerMetrics(reg *obs.Registry) serverMetrics {
 			"Probe datagram writes that failed (treated as UDP loss)."),
 		rateClamped: reg.Counter("swiftest_server_rate_clamped_total",
 			"Rate requests reduced to fit the server uplink cap."),
+		faultsInjected: reg.Counter("swiftest_server_faults_injected_total",
+			"Fault-plan actions acted out (dropped datagrams, blackout silences, delayed pongs...)."),
 		pings: reg.Counter("swiftest_server_pings_total",
 			"Ping requests answered (server-selection probes)."),
 		pacedMbps: reg.Gauge("swiftest_server_paced_mbps",

@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/mobilebandwidth/swiftest/internal/faults"
 	"github.com/mobilebandwidth/swiftest/internal/obs"
 	"github.com/mobilebandwidth/swiftest/internal/wire"
 )
@@ -52,6 +53,11 @@ type ServerConfig struct {
 	// Metrics, when non-nil, receives the server's operational metrics
 	// (session lifecycle, pacing, drops, reaps) for Prometheus exposition.
 	Metrics *obs.Registry
+	// Faults, when non-nil, makes the server act out a fault plan: drop
+	// handshakes, fall silent during blackouts, delay or duplicate pongs,
+	// lose probe datagrams, clamp pacing. Fault times are elapsed since
+	// NewServer. Nil injects nothing; the hooks cost one nil check each.
+	Faults *faults.Binding
 }
 
 // Server is a Swiftest UDP test server.
@@ -61,9 +67,11 @@ type Server struct {
 	wg      sync.WaitGroup
 	closed  atomic.Bool
 	metrics serverMetrics
+	started time.Time
 
-	mu       sync.Mutex
-	sessions map[sessionKey]*session // guarded by mu
+	mu         sync.Mutex
+	sessions   map[sessionKey]*session // guarded by mu
+	hsAttempts map[sessionKey]int      // handshake datagrams seen per key, for fault draws; guarded by mu
 
 	bytesSent atomic.Int64
 }
@@ -101,7 +109,13 @@ func NewServer(addr string, cfg ServerConfig) (*Server, error) {
 	if cfg.IdleTimeout <= 0 {
 		cfg.IdleTimeout = DefaultIdleTimeout
 	}
-	s := &Server{conn: conn, cfg: cfg, sessions: make(map[sessionKey]*session)}
+	s := &Server{
+		conn:       conn,
+		cfg:        cfg,
+		sessions:   make(map[sessionKey]*session),
+		hsAttempts: make(map[sessionKey]int),
+		started:    time.Now(),
+	}
 	s.metrics = newServerMetrics(cfg.Metrics)
 	s.metrics.uplinkMbps.Set(cfg.UplinkMbps)
 	s.wg.Add(1)
@@ -143,6 +157,9 @@ func (s *Server) logf(msg string, args ...any) {
 	}
 }
 
+// elapsed is the fault plan's time base: wall time since the server started.
+func (s *Server) elapsed() time.Duration { return time.Since(s.started) }
+
 func (s *Server) readLoop() {
 	defer s.wg.Done()
 	buf := make([]byte, 2048)
@@ -164,6 +181,12 @@ func (s *Server) readLoop() {
 		if err != nil {
 			continue // not ours; drop silently
 		}
+		if s.cfg.Faults.Blackout(s.elapsed()) {
+			// A blacked-out server is dead to the world: every inbound
+			// datagram vanishes, exactly like a crashed process.
+			s.metrics.faultsInjected.Inc()
+			continue
+		}
 		out = out[:0]
 		switch typ {
 		case wire.TypePing:
@@ -172,11 +195,15 @@ func (s *Server) readLoop() {
 				s.metrics.pings.Inc()
 				pong := wire.Pong{Seq: ping.Seq, EchoNS: ping.SentNS}
 				out = pong.AppendTo(out)
-				_, _ = s.conn.WriteToUDP(out, peer)
+				s.sendPong(out, peer)
 			}
 		case wire.TypeTestRequest:
 			var req wire.TestRequest
 			if req.Decode(pkt) == nil {
+				if s.dropHandshake(&req, peer) {
+					s.metrics.faultsInjected.Inc()
+					continue
+				}
 				s.handleTestRequest(&req, peer)
 				acc := wire.TestAccept{TestID: req.TestID}
 				out = acc.AppendTo(out)
@@ -197,6 +224,47 @@ func (s *Server) readLoop() {
 			}
 		}
 	}
+}
+
+// sendPong writes a pong, applying any active pong-delay / pong-dup fault.
+// The fast path (no fault plan) is one nil check and a direct write.
+func (s *Server) sendPong(out []byte, peer *net.UDPAddr) {
+	act := s.cfg.Faults.Pong(s.elapsed())
+	if act.Drop {
+		s.metrics.faultsInjected.Inc()
+		return
+	}
+	if act.Delay <= 0 && act.Copies <= 1 {
+		_, _ = s.conn.WriteToUDP(out, peer)
+		return
+	}
+	s.metrics.faultsInjected.Inc()
+	pong := append([]byte(nil), out...) // out is reused by the read loop
+	send := func() {
+		for i := 0; i < act.Copies; i++ {
+			_, _ = s.conn.WriteToUDP(pong, peer)
+		}
+	}
+	if act.Delay > 0 {
+		time.AfterFunc(act.Delay, send)
+		return
+	}
+	send()
+}
+
+// dropHandshake consults the fault plan for one TestRequest datagram,
+// numbering retransmissions per (peer, test) so probabilistic drops re-draw
+// per attempt.
+func (s *Server) dropHandshake(req *wire.TestRequest, peer *net.UDPAddr) bool {
+	if s.cfg.Faults == nil {
+		return false
+	}
+	key := sessionKey{addr: peer.String(), testID: req.TestID}
+	s.mu.Lock()
+	attempt := s.hsAttempts[key]
+	s.hsAttempts[key] = attempt + 1
+	s.mu.Unlock()
+	return s.cfg.Faults.DropHandshake(s.elapsed(), attempt)
 }
 
 func (s *Server) handleTestRequest(req *wire.TestRequest, peer *net.UDPAddr) {
@@ -337,6 +405,20 @@ func (s *Server) pace(sess *session, key sessionKey) {
 			return
 		}
 		rate := wire.MbpsFromKbps(sess.rateKbps.Load())
+		if b := s.cfg.Faults; b != nil {
+			at := s.elapsed()
+			if b.Blackout(at) {
+				// A blacked-out server paces nothing — the client sees the
+				// session fall silent and fails over.
+				carryBytes = 0
+				s.metrics.faultsInjected.Inc()
+				continue
+			}
+			if capMbps, ok := b.CapMbps(at); ok && rate > capMbps {
+				rate = capMbps
+				s.metrics.faultsInjected.Inc()
+			}
+		}
 		if rate <= 0 {
 			carryBytes = 0
 			continue
@@ -352,6 +434,11 @@ func (s *Server) pace(sess *session, key sessionKey) {
 		for carryBytes >= DatagramSize {
 			carryBytes -= DatagramSize
 			seq++
+			if b := s.cfg.Faults; b != nil && b.DropData(s.elapsed(), uint64(seq)) {
+				// Burst loss: the datagram is paced but never hits the wire.
+				s.metrics.faultsInjected.Inc()
+				continue
+			}
 			d := wire.Data{
 				TestID:  sess.testID,
 				Seq:     seq,

@@ -1,6 +1,7 @@
 package swiftest
 
 import (
+	"context"
 	"strconv"
 	"time"
 
@@ -54,19 +55,56 @@ func SimulateTest(link LinkConfig, model *Model) (Result, error) {
 	return SimulateTestObserved(link, model, SimulateOptions{})
 }
 
-// SimulateOptions attaches observability to an emulated test.
+// SimServer describes one emulated test server in a multi-server
+// simulation (SimulateOptions.Servers). Servers are consulted
+// nearest-first in slice order, mirroring the real transport's RTT-ranked
+// pool; Addr labels the server in trace events, UplinkMbps caps the
+// probing rate it can source.
+type SimServer = core.SimServer
+
+// SimulateOptions attaches observability and fault scenarios to an
+// emulated test.
 type SimulateOptions struct {
 	// Trace, when non-nil, receives the structured events of the test,
 	// stamped in virtual time — the same run-record schema as a live Test.
 	Trace *Trace
 	// Metrics, when non-nil, aggregates engine outcomes across simulations.
 	Metrics *MetricsRegistry
+	// Servers, when non-empty, emulates a multi-server pool sharing the
+	// access link: the probing rate is split nearest-first under each
+	// server's uplink cap, exactly like the real transport, and mid-test
+	// server loss triggers the same failover. Empty emulates one uncapped
+	// server.
+	Servers []SimServer
+	// Faults, when non-nil, injects the plan into the emulated pool.
+	// Fault times are virtual milliseconds since the test started; server
+	// indexes refer to Servers order.
+	Faults *FaultPlan
+	// LostAfter is K, the consecutive silent sample windows after which an
+	// emulated server session is declared lost; zero selects the default
+	// (4 windows = 200 ms), matching the live client.
+	LostAfter int
 }
 
-// SimulateTestObserved is SimulateTest with a tracer and/or metrics registry
-// attached: the emulator reuses the exact instrumentation of the live path,
-// so run-records from virtual and real tests are directly comparable.
+// SimulateTestObserved is SimulateTest with options attached: the emulator
+// reuses the exact instrumentation of the live path, so run-records from
+// virtual and real tests are directly comparable. It is
+// SimulateTestContext with a background context.
 func SimulateTestObserved(link LinkConfig, model *Model, opts SimulateOptions) (Result, error) {
+	return SimulateTestContext(context.Background(), link, model, opts)
+}
+
+// SimulateTestContext is SimulateTestObserved bounded by a context. The
+// emulator runs in virtual time, so the context matters only for aborting
+// long parameter sweeps between samples; cancellation returns an error
+// wrapping ErrTestAborted, like a live test.
+func SimulateTestContext(ctx context.Context, link LinkConfig, model *Model, opts SimulateOptions) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := opts.Faults.Validate(); err != nil {
+		return Result{}, err
+	}
 	l, err := linksim.New(link.toInternal(), link.Seed)
 	if err != nil {
 		return Result{}, err
@@ -76,9 +114,29 @@ func SimulateTestObserved(link LinkConfig, model *Model, opts SimulateOptions) (
 		opts.Trace.SetMeta("capacity_mbps", strconv.FormatFloat(link.CapacityMbps, 'g', -1, 64))
 		opts.Trace.SetMeta("seed", strconv.FormatInt(link.Seed, 10))
 	}
-	probe := core.NewSimProbe(l)
+	var probe interface {
+		core.Probe
+		Close()
+	}
+	if len(opts.Servers) > 0 || opts.Faults != nil {
+		servers := opts.Servers
+		if len(servers) == 0 {
+			servers = []SimServer{{}} // single uncapped server, fault index 0
+		}
+		probe, err = core.NewSimPoolProbe(l, core.SimPoolConfig{
+			Servers:   servers,
+			Faults:    opts.Faults.Injector(),
+			LostAfter: opts.LostAfter,
+			Trace:     opts.Trace,
+		})
+		if err != nil {
+			return Result{}, err
+		}
+	} else {
+		probe = core.NewSimProbe(l)
+	}
 	defer probe.Close()
-	res, err := core.Run(probe, core.Config{
+	res, err := core.RunContext(ctx, probe, core.Config{
 		Model:   model,
 		Trace:   opts.Trace,
 		Metrics: core.NewEngineMetrics(opts.Metrics),

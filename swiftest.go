@@ -34,8 +34,8 @@
 package swiftest
 
 import (
+	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"log/slog"
 	"math/rand"
@@ -45,6 +45,7 @@ import (
 
 	"github.com/mobilebandwidth/swiftest/internal/core"
 	"github.com/mobilebandwidth/swiftest/internal/dataset"
+	"github.com/mobilebandwidth/swiftest/internal/faults"
 	"github.com/mobilebandwidth/swiftest/internal/gmm"
 	"github.com/mobilebandwidth/swiftest/internal/obs"
 	"github.com/mobilebandwidth/swiftest/internal/transport"
@@ -158,6 +159,15 @@ type Result struct {
 	// (RFC 3550 style), a free link-quality diagnostic. Zero for emulated
 	// tests.
 	Jitter time.Duration
+	// ServersUsed counts the test servers that carried probe traffic.
+	ServersUsed int
+	// ServersLost counts servers that went silent mid-test and were failed
+	// over away from.
+	ServersLost int
+	// Degraded reports that the test lost at least one server mid-flight
+	// but finished on the survivors: the estimate is valid but was produced
+	// under reduced pool capacity.
+	Degraded bool
 }
 
 func fromCore(r core.Result) Result {
@@ -169,6 +179,9 @@ func fromCore(r core.Result) Result {
 		Converged:       r.Converged,
 		RateChanges:     r.RateChanges,
 		InitialRateMbps: r.InitialRate,
+		ServersUsed:     r.ServersUsed,
+		ServersLost:     r.ServersLost,
+		Degraded:        r.Degraded,
 	}
 }
 
@@ -184,6 +197,14 @@ type ServerOptions struct {
 	// Metrics, when non-nil, receives the server's operational metrics
 	// (session lifecycle, pacing, drops, idle reaps).
 	Metrics *MetricsRegistry
+	// FaultPlan, when non-nil, makes the server act out the plan's faults:
+	// drop handshakes, fall silent during blackouts, delay or duplicate
+	// pongs, lose probe datagrams, clamp pacing. Fault times are elapsed
+	// wall time since NewServer.
+	FaultPlan *FaultPlan
+	// FaultServer is this server's index in the fault plan's pool order
+	// (Fault.Server). Only consulted when FaultPlan is non-nil.
+	FaultServer int
 }
 
 // Server is a running Swiftest UDP test server.
@@ -193,11 +214,19 @@ type Server struct {
 
 // NewServer starts a test server on addr (e.g. ":7007" or "127.0.0.1:0").
 func NewServer(addr string, opts ServerOptions) (*Server, error) {
+	var binding *faults.Binding
+	if opts.FaultPlan != nil {
+		if err := opts.FaultPlan.Validate(); err != nil {
+			return nil, fmt.Errorf("swiftest: fault plan: %w", err)
+		}
+		binding = &faults.Binding{Inj: opts.FaultPlan.Injector(), Server: opts.FaultServer}
+	}
 	s, err := transport.NewServer(addr, transport.ServerConfig{
 		UplinkMbps: opts.UplinkMbps,
 		Logger:     opts.Logger,
 		OnResult:   opts.OnResult,
 		Metrics:    opts.Metrics,
+		Faults:     binding,
 	})
 	if err != nil {
 		return nil, err
@@ -243,19 +272,39 @@ type TestOptions struct {
 	// a JSONL run-record (see Trace).
 	Trace *Trace
 	// Metrics, when non-nil, aggregates engine outcomes (convergence,
-	// duration, data volume, bandwidth) across tests.
+	// duration, data volume, bandwidth) across tests — plus the client's
+	// resilience counters (sessions lost, handshake retries).
 	Metrics *MetricsRegistry
+	// LostAfter is K, the consecutive silent 50 ms sample windows after
+	// which an assigned server session is declared lost and its probing
+	// share redistributed to the surviving servers. Zero selects the
+	// default (4 windows, i.e. 200 ms of silence).
+	LostAfter int
 }
 
 // Test runs one full Swiftest bandwidth test over real UDP: server selection
 // by PING latency, data-driven probing, convergence, and result reporting
-// back to the servers.
+// back to the servers. It is TestContext with a background context.
 func Test(opts TestOptions) (Result, error) {
+	return TestContext(context.Background(), opts)
+}
+
+// TestContext is Test bounded by a context: cancellation or deadline expiry
+// aborts server selection, session setup, and the probing loop at the next
+// sample boundary, returning an error wrapping ErrTestAborted. A context
+// that is already done aborts before a single datagram is sent.
+func TestContext(ctx context.Context, opts TestOptions) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, fmt.Errorf("swiftest: %w before start: %v", ErrTestAborted, err)
+	}
 	if len(opts.Servers) == 0 {
-		return Result{}, errors.New("swiftest: no servers configured")
+		return Result{}, fmt.Errorf("swiftest: %w", ErrNoServers)
 	}
 	if opts.Model == nil {
-		return Result{}, errors.New("swiftest: a bandwidth model is required (see DefaultModel)")
+		return Result{}, fmt.Errorf("swiftest: %w (see DefaultModel)", ErrModelRequired)
 	}
 	pingCount := opts.PingCount
 	if pingCount <= 0 {
@@ -275,22 +324,24 @@ func Test(opts TestOptions) (Result, error) {
 		pool.Servers = append(pool.Servers, transport.PoolServer{Addr: s.Addr, UplinkMbps: s.UplinkMbps})
 	}
 	selStart := time.Now() //lint:allow walltime measures real server-selection latency in the live client path
-	if err := pool.RankByLatency(pingCount, pingTimeout); err != nil {
+	if err := pool.RankByLatencyContext(ctx, pingCount, pingTimeout); err != nil {
 		return Result{}, fmt.Errorf("swiftest: server selection: %w", err)
 	}
 	selectionTime := time.Since(selStart) //lint:allow walltime measures real server-selection latency in the live client path
 
-	probe, err := transport.NewUDPProbe(pool, rand.New(rand.NewSource(seed)))
+	probe, err := transport.NewUDPProbeContext(ctx, pool, rand.New(rand.NewSource(seed)))
 	if err != nil {
 		return Result{}, fmt.Errorf("swiftest: preparing probe: %w", err)
 	}
+	probe.SetMetrics(opts.Metrics)
+	probe.SetLostAfter(opts.LostAfter)
 	if opts.Trace != nil {
 		opts.Trace.SetMeta("source", "udp")
 		opts.Trace.SetMeta("test_id", strconv.FormatUint(probe.TestID(), 10))
 		opts.Trace.SetMeta("started_unix_ms", strconv.FormatInt(time.Now().UnixMilli(), 10)) //lint:allow walltime run-record start stamp for correlating live tests with server logs
 		probe.SetTrace(opts.Trace)
 	}
-	res, err := core.Run(probe, core.Config{
+	res, err := core.RunContext(ctx, probe, core.Config{
 		Model:       opts.Model,
 		MaxDuration: opts.MaxDuration,
 		Trace:       opts.Trace,
@@ -307,9 +358,17 @@ func Test(opts TestOptions) (Result, error) {
 	return out, nil
 }
 
-// Ping measures the minimum round-trip latency to one test server.
+// Ping measures the minimum round-trip latency to one test server. It is
+// PingContext with a background context.
 func Ping(addr string, count int, timeout time.Duration) (time.Duration, error) {
 	return transport.PingServer(addr, count, timeout)
+}
+
+// PingContext is Ping bounded by a context: cancellation or deadline expiry
+// cuts the probe train short. Failures wrap ErrProbeTimeout (no answer) or
+// ErrTestAborted (cancelled) inside a *ServerError naming the address.
+func PingContext(ctx context.Context, addr string, count int, timeout time.Duration) (time.Duration, error) {
+	return transport.PingServerContext(ctx, addr, count, timeout)
 }
 
 // ModelStore maintains a bandwidth model refreshed periodically from
