@@ -1,0 +1,162 @@
+// Emitter for BENCH_fleet.json: a machine-readable record of the fleet
+// control plane's dispatch throughput and the load generator's virtual-time
+// leverage. Gated on BENCH_FLEET_OUT so regular `go test ./...` runs never
+// pay for it:
+//
+//	BENCH_FLEET_OUT=BENCH_fleet.json go test -run TestEmitBenchFleet .
+//
+// The headline figure is the virtual-time speedup: how many seconds of
+// emulated fleet operation (diurnal arrivals, heartbeats, admission,
+// link emulation for every session) one wall-clock second buys.
+package swiftest_test
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/mobilebandwidth/swiftest/internal/deploy"
+	"github.com/mobilebandwidth/swiftest/internal/fleet"
+	"github.com/mobilebandwidth/swiftest/internal/loadgen"
+)
+
+type benchFleetReport struct {
+	Schema string `json:"schema"`
+	GOOS   string `json:"goos"`
+	GOARCH string `json:"goarch"`
+	CPUs   int    `json:"cpus"`
+	Note   string `json:"note"`
+
+	// Dispatch hot path: one admission decision (rank, token, lease) plus
+	// the matching release, on a 3-tier planner fleet.
+	DispatchNsPerOp      float64 `json:"dispatch_ns_per_op"`
+	DispatchPerSec       float64 `json:"dispatch_per_sec"`
+	DispatchFleetServers int     `json:"dispatch_fleet_servers"`
+
+	// Load generation: a full diurnal day compressed into the virtual
+	// horizon, thousands of concurrent emulated clients.
+	LoadgenPeakConcurrent  int     `json:"loadgen_peak_concurrent"`
+	LoadgenVirtualSeconds  float64 `json:"loadgen_virtual_seconds"`
+	LoadgenWallSeconds     float64 `json:"loadgen_wall_seconds"`
+	LoadgenVirtualSpeedup  float64 `json:"loadgen_virtual_speedup"`
+	LoadgenTestsCompleted  int     `json:"loadgen_tests_completed"`
+	LoadgenTestsPerWallSec float64 `json:"loadgen_tests_per_wall_sec"`
+}
+
+func benchFleetPlan(t *testing.T, requiredMbps float64) (deploy.Plan, []deploy.Placement) {
+	t.Helper()
+	plan, err := deploy.PlanPurchase(deploy.SyntheticCatalogue(), requiredMbps, 0.075,
+		deploy.PlanOptions{MinServers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	placements, err := deploy.PlaceServers(plan, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan, placements
+}
+
+// TestEmitBenchFleet measures dispatch and loadgen throughput and writes
+// BENCH_fleet.json.
+func TestEmitBenchFleet(t *testing.T) {
+	out := os.Getenv("BENCH_FLEET_OUT")
+	if out == "" {
+		t.Skip("set BENCH_FLEET_OUT=<path> to emit the benchmark report")
+	}
+
+	plan, placements := benchFleetPlan(t, 5500)
+	disp := testing.Benchmark(func(b *testing.B) {
+		// A fresh dispatcher per invocation: testing.Benchmark re-runs this
+		// closure with growing b.N, and virtual time must restart with it.
+		d, err := fleet.NewDispatcher(plan, placements, fleet.Config{
+			ActivatePlanned: true,
+			PerTestMbps:     1,
+			Seed:            7,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Virtual time advances 5ms per decision so the token buckets
+		// refill; Advance amortises to one window fold per ~100 iterations.
+		r := d.Registry()
+		n := len(r.Servers())
+		b.ResetTimer()
+		at := time.Duration(0)
+		for i := 0; i < b.N; i++ {
+			at += 5 * time.Millisecond
+			for id := 0; id < n; id++ {
+				_ = r.Heartbeat(id, at)
+			}
+			r.Advance(at)
+			a, err := d.Dispatch(fleet.ClientInfo{Key: uint64(i), Domain: deploy.IXPDomains[i%8]}, at)
+			if err != nil {
+				b.Fatal(err)
+			}
+			r.Release(a.Lease, at)
+		}
+	})
+	dispatchNs := float64(disp.T.Nanoseconds()) / float64(disp.N)
+
+	const (
+		peak       = 5200
+		virtualDur = 30 * time.Second
+	)
+	var rep loadgen.Report
+	lg := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var err error
+			rep, err = loadgen.Run(context.Background(), loadgen.Config{
+				Plan:           plan,
+				Placements:     placements,
+				Duration:       virtualDur,
+				PeakConcurrent: peak,
+				PerTestMbps:    1,
+				Workers:        runtime.NumCPU(),
+				Seed:           42,
+				BurstProb:      -1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	wallSec := lg.T.Seconds() / float64(lg.N)
+
+	report := benchFleetReport{
+		Schema: "swiftest-bench-fleet/v1",
+		GOOS:   runtime.GOOS,
+		GOARCH: runtime.GOARCH,
+		CPUs:   runtime.NumCPU(),
+		Note: "dispatch: admission+release on the planner's 3-tier fleet; " +
+			"loadgen: one diurnal day compressed into 30 virtual seconds at " +
+			"5200 peak concurrent emulated clients",
+		DispatchNsPerOp:        dispatchNs,
+		DispatchPerSec:         1e9 / dispatchNs,
+		DispatchFleetServers:   plan.Servers(),
+		LoadgenPeakConcurrent:  rep.PeakConcurrent,
+		LoadgenVirtualSeconds:  virtualDur.Seconds(),
+		LoadgenWallSeconds:     wallSec,
+		LoadgenVirtualSpeedup:  virtualDur.Seconds() / wallSec,
+		LoadgenTestsCompleted:  rep.TestsCompleted,
+		LoadgenTestsPerWallSec: float64(rep.TestsCompleted) / wallSec,
+	}
+
+	f, err := os.Create(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("dispatch %.0f ns/op (%.0f/s), loadgen %.1f× virtual speedup, %d tests completed",
+		report.DispatchNsPerOp, report.DispatchPerSec, report.LoadgenVirtualSpeedup, report.LoadgenTestsCompleted)
+}

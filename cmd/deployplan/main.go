@@ -6,7 +6,10 @@
 // Usage:
 //
 //	deployplan [-tests-per-day 10000] [-avg-duration 1.2s] [-avg-bandwidth 300]
-//	           [-peak 3] [-margin 0.075] [-min-servers 20]
+//	           [-peak 3] [-margin 0.075] [-min-servers 20] [-json plan.json]
+//
+// -json writes the plan as a deployment artifact that `swiftest dispatch`
+// and `swiftest loadgen` consume.
 package main
 
 import (
@@ -25,15 +28,16 @@ func main() {
 	peak := flag.Float64("peak", 3, "peak-to-mean concurrency factor")
 	margin := flag.Float64("margin", 0.075, "burst headroom over the estimate (0.05–0.10)")
 	minServers := flag.Int("min-servers", 20, "geographic-coverage minimum server count")
+	jsonPath := flag.String("json", "", "write the plan as a deployment artifact to this file")
 	flag.Parse()
 
-	if err := run(*testsPerDay, *avgDur, *avgBW, *peak, *margin, *minServers); err != nil {
+	if err := run(*testsPerDay, *avgDur, *avgBW, *peak, *margin, *minServers, *jsonPath); err != nil {
 		fmt.Fprintln(os.Stderr, "deployplan:", err)
 		os.Exit(1)
 	}
 }
 
-func run(testsPerDay float64, avgDur time.Duration, avgBW, peak, margin float64, minServers int) error {
+func run(testsPerDay float64, avgDur time.Duration, avgBW, peak, margin float64, minServers int, jsonPath string) error {
 	w := deploy.Workload{
 		TestsPerDay:     testsPerDay,
 		AvgTestDuration: avgDur,
@@ -72,5 +76,29 @@ func run(testsPerDay float64, avgDur time.Duration, avgBW, peak, margin float64,
 		fmt.Printf("\nvs BTS-APP's allocation (50 × 1 Gbps): $%.2f/mo — %.1f× more expensive\n",
 			legacy.MonthlyCost, legacy.MonthlyCost/plan.MonthlyCost)
 	}
+
+	if jsonPath != "" {
+		if err := writeArtifact(jsonPath, w, plan, placements); err != nil {
+			return err
+		}
+		fmt.Printf("\ndeployment artifact written to %s\n", jsonPath)
+	}
 	return nil
+}
+
+// writeArtifact saves the plan in the schema `swiftest dispatch` loads.
+func writeArtifact(path string, w deploy.Workload, plan deploy.Plan, placements []deploy.Placement) error {
+	art := deploy.NewArtifact(w, plan, placements)
+	if err := art.Validate(); err != nil {
+		return fmt.Errorf("artifact: %w", err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := art.Encode(f); err != nil {
+		f.Close()
+		return fmt.Errorf("writing artifact: %w", err)
+	}
+	return f.Close()
 }

@@ -1,0 +1,360 @@
+package main
+
+// The fleet control-plane face of the CLI: `swiftest dispatch` serves the
+// HTTP control plane for a planned fleet, `swiftest serve -register` makes a
+// test server join it and heartbeat, `swiftest test -dispatch` asks it for a
+// ranked server pool, and `swiftest loadgen` rehearses the whole thing at
+// Figure-26 scale in virtual time.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"net/url"
+	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
+	"time"
+
+	swiftest "github.com/mobilebandwidth/swiftest"
+)
+
+// assignResponse is the /assign payload: the lease plus the ranked pool,
+// ready to feed a client's -servers list.
+type assignResponse struct {
+	LeaseServer int                  `json:"lease_server"`
+	LeaseSeq    uint64               `json:"lease_seq"`
+	Servers     []swiftest.ServerAddr `json:"servers"`
+}
+
+type registerResponse struct {
+	ID int `json:"id"`
+	// HeartbeatMS is the liveness window; beat at least once per window.
+	HeartbeatMS int64 `json:"heartbeat_ms"`
+}
+
+func dispatch(args []string) error {
+	fs := flag.NewFlagSet("dispatch", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7900", "HTTP listen address for the control plane")
+	planPath := fs.String("plan", "", "deployment-plan artifact from `deployplan -json` (required)")
+	perTest := fs.Float64("pertest", 5, "per-test bandwidth reservation (Mbps) for admission caps")
+	window := fs.Duration("window", 0, "heartbeat liveness window (0 selects the 500ms default)")
+	verbose := fs.Bool("v", false, "log assignments, rejections, drains, and server deaths")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *planPath == "" {
+		return fmt.Errorf("no deployment plan given (use -plan artifact.json; see deployplan -json)")
+	}
+	art, err := swiftest.LoadDeployArtifact(*planPath)
+	if err != nil {
+		return err
+	}
+	metrics := swiftest.NewMetricsRegistry()
+	d, err := swiftest.NewFleetDispatcherFromArtifact(art, swiftest.FleetConfig{
+		PerTestMbps:     *perTest,
+		HeartbeatWindow: *window,
+		Metrics:         metrics,
+	})
+	if err != nil {
+		return err
+	}
+	logf := func(format string, a ...any) {
+		if *verbose {
+			fmt.Printf(format+"\n", a...)
+		}
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", metrics.Handler())
+	mux.HandleFunc("/register", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		uplink, _ := strconv.ParseFloat(q.Get("uplink"), 64)
+		id, err := d.Register(q.Get("addr"), q.Get("domain"), uplink)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		logf("register server=%d addr=%s domain=%s uplink=%.0f", id, q.Get("addr"), q.Get("domain"), uplink)
+		writeJSON(w, registerResponse{ID: id, HeartbeatMS: heartbeatWindowMS(*window)})
+	})
+	mux.HandleFunc("/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.Atoi(r.URL.Query().Get("id"))
+		if err != nil {
+			http.Error(w, "bad id", http.StatusBadRequest)
+			return
+		}
+		if err := d.Heartbeat(id); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("/assign", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		key, _ := strconv.ParseUint(q.Get("key"), 10, 64)
+		claim, _ := strconv.ParseFloat(q.Get("claim"), 64)
+		a, pool, err := d.DispatchContext(r.Context(), swiftest.FleetClient{
+			Key: key, Domain: q.Get("domain"), ClaimMbps: claim,
+		})
+		if err != nil {
+			var sat *swiftest.SaturatedError
+			if errors.As(err, &sat) {
+				w.Header().Set("Retry-After", strconv.Itoa(int(sat.RetryAfter.Seconds()+1)))
+				logf("reject client=%d retry-after=%v", key, sat.RetryAfter)
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+			logf("reject client=%d err=%v", key, err)
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		logf("assign client=%d server=%d addr=%s pool=%d", key, a.Lease.Server, pool[0].Addr, len(pool))
+		writeJSON(w, assignResponse{LeaseServer: a.Lease.Server, LeaseSeq: a.Lease.Seq, Servers: pool})
+	})
+	mux.HandleFunc("/release", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		server, _ := strconv.Atoi(q.Get("server"))
+		seq, _ := strconv.ParseUint(q.Get("seq"), 10, 64)
+		d.Release(swiftest.FleetLease{Server: server, Seq: seq})
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("/drain", func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.Atoi(r.URL.Query().Get("id"))
+		if err != nil {
+			http.Error(w, "bad id", http.StatusBadRequest)
+			return
+		}
+		if err := d.Drain(id); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		logf("drain server=%d", id)
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("/servers", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, d.Servers())
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("control-plane listener: %w", err)
+	}
+	defer ln.Close()
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Close()
+	fmt.Printf("fleet dispatch on http://%s (plan: %d servers, %d-session capacity)\n",
+		ln.Addr(), art.Plan.Servers(), d.Capacity())
+
+	// The clock loop: fold heartbeat windows twice per window and narrate
+	// state transitions (server_dead, drain completion) for the logs.
+	tick := time.NewTicker(heartbeatWindowDur(*window) / 2) //lint:allow walltime the live control plane advances on wall time, like transport
+	defer tick.Stop()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	lastState := map[int]string{}
+	for {
+		select {
+		case <-tick.C:
+			d.Advance()
+			for _, s := range d.Servers() {
+				state := s.State.String()
+				if prev, ok := lastState[s.ID]; ok && prev != state {
+					switch state {
+					case "dead":
+						fmt.Printf("server_dead server=%d addr=%s silent=%d\n", s.ID, s.Addr, s.Silent)
+					default:
+						logf("server_state server=%d addr=%s %s -> %s", s.ID, s.Addr, prev, state)
+					}
+				}
+				lastState[s.ID] = state
+			}
+		case <-sig:
+			fmt.Println("dispatch shutting down")
+			return nil
+		}
+	}
+}
+
+func heartbeatWindowDur(w time.Duration) time.Duration {
+	if w <= 0 {
+		return 500 * time.Millisecond
+	}
+	return w
+}
+
+func heartbeatWindowMS(w time.Duration) int64 {
+	return heartbeatWindowDur(w).Milliseconds()
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// registerWithDispatcher joins a running control plane and starts the
+// heartbeat loop. Beats are gated on the server's fault plan: a blacked-out
+// server goes silent on the control plane exactly as on the data plane, so
+// the dispatcher's K-silent-windows rule kills it. Returns a stop function
+// that drains the server out of the fleet.
+func registerWithDispatcher(dispatchURL string, srv *swiftest.Server, domain string, uplink float64) (stop func(), err error) {
+	hc := &http.Client{Timeout: 5 * time.Second}
+	v := url.Values{}
+	v.Set("addr", srv.Addr())
+	v.Set("domain", domain)
+	v.Set("uplink", strconv.FormatFloat(uplink, 'f', -1, 64))
+	resp, err := hc.Post(dispatchURL+"/register?"+v.Encode(), "", nil)
+	if err != nil {
+		return nil, fmt.Errorf("registering with %s: %w", dispatchURL, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("registering with %s: HTTP %d", dispatchURL, resp.StatusCode)
+	}
+	var reg registerResponse
+	if err := json.NewDecoder(resp.Body).Decode(&reg); err != nil {
+		return nil, fmt.Errorf("decoding register response: %w", err)
+	}
+	fmt.Printf("registered with %s as fleet server %d (heartbeat every %dms)\n",
+		dispatchURL, reg.ID, reg.HeartbeatMS/2)
+
+	done := make(chan struct{})
+	exited := make(chan struct{})
+	go func() {
+		defer close(exited)
+		// Beat twice per liveness window so one lost datagram is harmless.
+		tick := time.NewTicker(time.Duration(reg.HeartbeatMS) * time.Millisecond / 2) //lint:allow walltime live heartbeat loop against a real control plane
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				if srv.BlackedOut() {
+					continue // silent: let the dispatcher see the blackout
+				}
+				resp, err := hc.Post(fmt.Sprintf("%s/heartbeat?id=%d", dispatchURL, reg.ID), "", nil)
+				if err == nil {
+					resp.Body.Close()
+				}
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-exited
+		resp, err := hc.Post(fmt.Sprintf("%s/drain?id=%d", dispatchURL, reg.ID), "", nil)
+		if err == nil {
+			resp.Body.Close()
+		}
+	}, nil
+}
+
+// fetchAssignment asks a dispatch control plane for a ranked server pool.
+func fetchAssignment(ctx context.Context, dispatchURL string, key uint64, domain string) (assignResponse, error) {
+	hc := &http.Client{Timeout: 5 * time.Second}
+	v := url.Values{}
+	v.Set("key", strconv.FormatUint(key, 10))
+	v.Set("domain", domain)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, dispatchURL+"/assign?"+v.Encode(), nil)
+	if err != nil {
+		return assignResponse{}, err
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return assignResponse{}, fmt.Errorf("asking %s for a server: %w", dispatchURL, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusServiceUnavailable {
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			return assignResponse{}, fmt.Errorf("%w: dispatcher says retry after %ss", swiftest.ErrFleetSaturated, ra)
+		}
+		return assignResponse{}, fmt.Errorf("%w: dispatcher has no capacity", swiftest.ErrFleetSaturated)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return assignResponse{}, fmt.Errorf("dispatcher: HTTP %d", resp.StatusCode)
+	}
+	var a assignResponse
+	if err := json.NewDecoder(resp.Body).Decode(&a); err != nil {
+		return assignResponse{}, fmt.Errorf("decoding assignment: %w", err)
+	}
+	if len(a.Servers) == 0 {
+		return assignResponse{}, fmt.Errorf("dispatcher returned an empty pool")
+	}
+	return a, nil
+}
+
+// releaseAssignment frees the dispatch lease after the test.
+func releaseAssignment(dispatchURL string, a assignResponse) {
+	hc := &http.Client{Timeout: 5 * time.Second}
+	resp, err := hc.Post(fmt.Sprintf("%s/release?server=%d&seq=%d", dispatchURL, a.LeaseServer, a.LeaseSeq), "", nil)
+	if err == nil {
+		resp.Body.Close()
+	}
+}
+
+func loadgenCmd(args []string) error {
+	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
+	planPath := fs.String("plan", "", "deployment-plan artifact from `deployplan -json` (required)")
+	peak := fs.Int("peak", 1000, "target concurrent tests at the diurnal peak")
+	duration := fs.Duration("duration", 30*time.Second, "virtual horizon (one diurnal day is compressed into it)")
+	perTest := fs.Float64("pertest", 1, "per-test offered rate and admission sizing (Mbps)")
+	workers := fs.Int("workers", 4, "goroutines advancing per-server links (does not affect results)")
+	seed := fs.Int64("seed", 1, "run seed")
+	faultsPath := fs.String("faults", "", "JSON fault plan to inject (server indexes = fleet slot IDs)")
+	asJSON := fs.Bool("json", false, "emit the report as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *planPath == "" {
+		return fmt.Errorf("no deployment plan given (use -plan artifact.json; see deployplan -json)")
+	}
+	art, err := swiftest.LoadDeployArtifact(*planPath)
+	if err != nil {
+		return err
+	}
+	cfg := swiftest.LoadgenConfig{
+		Plan:           art.Plan,
+		Placements:     art.Placements,
+		PeakConcurrent: *peak,
+		Duration:       *duration,
+		PerTestMbps:    *perTest,
+		Workers:        *workers,
+		Seed:           *seed,
+	}
+	if *faultsPath != "" {
+		plan, err := swiftest.LoadFaultPlan(*faultsPath)
+		if err != nil {
+			return err
+		}
+		cfg.Faults = plan.Injector()
+	}
+	rep, err := swiftest.GenerateLoad(context.Background(), cfg)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	fmt.Printf("virtual time   : %v (one diurnal day compressed)\n", rep.Duration)
+	fmt.Printf("tests          : %d started, %d completed, %d rejected, %d abandoned\n",
+		rep.TestsStarted, rep.TestsCompleted, rep.TestsRejected, rep.TestsAbandoned)
+	fmt.Printf("peak concurrent: %d\n", rep.PeakConcurrent)
+	fmt.Printf("rejection rate : %.2f%%\n", rep.RejectionRate*100)
+	fmt.Printf("failovers      : %d\n", rep.Failovers)
+	fmt.Printf("mean achieved  : %.2f Mbps per test\n", rep.MeanAchievedMbps)
+	for _, s := range rep.Servers {
+		fmt.Printf("server %-2d %-22s %7.1f MB delivered, %5.1f%% utilization, peak %d sessions\n",
+			s.ID, s.Addr, s.DeliveredMB, s.Utilization*100, s.PeakSessions)
+	}
+	fmt.Printf("assignment digest: %s\n", rep.AssignmentDigest)
+	return nil
+}

@@ -7,6 +7,13 @@
 //	swiftest serve  [-addr :7007] [-uplink 100] [-metrics :9090] [-faults plan.json] [-fault-server 0] [-v]
 //	swiftest test   -servers host1:7007[@uplink],host2:7007[@uplink] [-tech 5G] [-max 5s] [-timeout 30s] [-json] [-trace run.jsonl]
 //	swiftest ping   -servers host1:7007,host2:7007 [-count 3]
+//
+// A planned fleet (see cmd/deployplan) comes alive with:
+//
+//	swiftest dispatch -plan plan.json [-addr 127.0.0.1:7900] [-v]
+//	swiftest serve    -register http://127.0.0.1:7900 -domain Beijing
+//	swiftest test     -dispatch http://127.0.0.1:7900 [-domain Beijing]
+//	swiftest loadgen  -plan plan.json -peak 5000 [-duration 30s] [-json]
 package main
 
 import (
@@ -48,6 +55,10 @@ func main() {
 		err = floodServe(os.Args[2:])
 	case "floodtest":
 		err = floodTest(os.Args[2:])
+	case "dispatch":
+		err = dispatch(os.Args[2:])
+	case "loadgen":
+		err = loadgenCmd(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -72,6 +83,8 @@ commands:
   relay       emulate an access link in front of a real test server
   floodserve  run a legacy probing-by-flooding HTTP server (the BTS-APP baseline)
   floodtest   run a legacy 10-second flooding test against HTTP servers
+  dispatch    run the fleet control plane for a deployment plan (HTTP)
+  loadgen     rehearse a deployment plan under diurnal load in virtual time
 
 run "swiftest <command> -h" for command flags.
 `)
@@ -84,6 +97,8 @@ func serve(args []string) error {
 	metricsAddr := fs.String("metrics", "", "HTTP listen address for /metrics (Prometheus text; empty disables)")
 	faultsPath := fs.String("faults", "", "JSON fault plan to act out (times are elapsed since startup)")
 	faultServer := fs.Int("fault-server", 0, "this server's index in the fault plan's pool order")
+	register := fs.String("register", "", "fleet dispatch URL to register with and heartbeat (empty disables)")
+	domain := fs.String("domain", "", "IXP domain to report when registering with a dispatcher")
 	verbose := fs.Bool("v", false, "log test activity")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -124,6 +139,13 @@ func serve(args []string) error {
 		fmt.Printf("metrics on http://%s/metrics\n", ln.Addr())
 	}
 	fmt.Printf("swiftest server listening on %s (uplink %.0f Mbps)\n", srv.Addr(), *uplink)
+	if *register != "" {
+		stop, err := registerWithDispatcher(*register, srv, *domain, *uplink)
+		if err != nil {
+			return err
+		}
+		defer stop()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -161,6 +183,9 @@ func parseServers(spec string) ([]swiftest.ServerAddr, error) {
 func test(args []string) error {
 	fs := flag.NewFlagSet("test", flag.ExitOnError)
 	servers := fs.String("servers", "", "comma-separated host:port[@uplinkMbps] test servers")
+	dispatchURL := fs.String("dispatch", "", "fleet dispatch URL to request a server pool from (replaces -servers)")
+	key := fs.Uint64("key", 0, "client key for deterministic dispatch tie-breaks (with -dispatch)")
+	domain := fs.String("domain", "", "client IXP domain for latency-aware dispatch (with -dispatch)")
 	tech := fs.String("tech", "5G", "access technology for the bandwidth model: 4G, 5G or WiFi")
 	modelPath := fs.String("model", "", "JSON bandwidth-model file (overrides -tech; see SaveModel)")
 	maxDur := fs.Duration("max", 5*time.Second, "probing deadline")
@@ -171,9 +196,13 @@ func test(args []string) error {
 		return err
 	}
 
-	pool, err := parseServers(*servers)
-	if err != nil {
-		return err
+	var pool []swiftest.ServerAddr
+	var err error
+	if *dispatchURL == "" {
+		pool, err = parseServers(*servers)
+		if err != nil {
+			return err
+		}
 	}
 	var model *swiftest.Model
 	if *modelPath != "" {
@@ -208,6 +237,15 @@ func test(args []string) error {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+	if *dispatchURL != "" {
+		a, err := fetchAssignment(ctx, *dispatchURL, *key, *domain)
+		if err != nil {
+			return err
+		}
+		pool = a.Servers
+		fmt.Fprintf(os.Stderr, "dispatched to %s (pool of %d)\n", pool[0].Addr, len(pool))
+		defer releaseAssignment(*dispatchURL, a)
 	}
 	res, err := swiftest.TestContext(ctx, swiftest.TestOptions{
 		Servers:     pool,

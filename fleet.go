@@ -1,0 +1,155 @@
+package swiftest
+
+import (
+	"context"
+	"time"
+
+	"github.com/mobilebandwidth/swiftest/internal/deploy"
+	"github.com/mobilebandwidth/swiftest/internal/fleet"
+	"github.com/mobilebandwidth/swiftest/internal/loadgen"
+)
+
+// The fleet sub-API (§5.2): the dispatch control plane that turns a
+// deployment plan into a live, load-shedding server fleet, and the
+// virtual-time load generator that exercises it at Figure-26 scale.
+
+// FleetConfig parameterises a fleet dispatcher.
+type FleetConfig = fleet.Config
+
+// FleetClient describes one incoming test request to the dispatcher.
+type FleetClient = fleet.ClientInfo
+
+// FleetAssignment is a dispatch decision: the admitted lease plus the
+// ranked server list that feeds the client's mid-test failover.
+type FleetAssignment = fleet.Assignment
+
+// FleetLease names one admitted session for release.
+type FleetLease = fleet.LeaseID
+
+// FleetServerStatus is a point-in-time view of one fleet server.
+type FleetServerStatus = fleet.ServerStatus
+
+// DeployArtifact is the serialised deployment plan emitted by
+// cmd/deployplan -json and consumed by the fleet dispatcher.
+type DeployArtifact = deploy.Artifact
+
+// Deployment-artifact functions (see package deploy for details).
+var (
+	// NewDeployArtifact bundles a workload, plan, and placement.
+	NewDeployArtifact = deploy.NewArtifact
+	// LoadDeployArtifact reads a cmd/deployplan -json file.
+	LoadDeployArtifact = deploy.LoadArtifact
+	// ParseDeployArtifact decodes and validates artifact JSON.
+	ParseDeployArtifact = deploy.ParseArtifact
+)
+
+// LoadgenConfig parameterises a virtual-time load-generation run.
+type LoadgenConfig = loadgen.Config
+
+// LoadgenReport summarises a load-generation run.
+type LoadgenReport = loadgen.Report
+
+// GenerateLoad drives emulated clients through a fleet dispatcher over a
+// multi-server link-emulator pool, entirely in virtual time.
+var GenerateLoad = loadgen.Run
+
+// FleetDispatcher is the wall-clock face of the fleet control plane: it
+// stamps every internal/fleet call with elapsed time since construction, so
+// the deterministic caller-stamped core drives a live deployment unchanged.
+type FleetDispatcher struct {
+	d       *fleet.Dispatcher
+	started time.Time
+}
+
+// NewFleetDispatcher builds a live dispatcher for a deployment plan.
+// placements may be nil; cfg zero values select the documented defaults.
+func NewFleetDispatcher(plan DeployPlan, placements []Placement, cfg FleetConfig) (*FleetDispatcher, error) {
+	d, err := fleet.NewDispatcher(plan, placements, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &FleetDispatcher{d: d, started: time.Now()}, nil //lint:allow walltime the live control plane's time base, mirroring transport.Server
+}
+
+// NewFleetDispatcherFromArtifact builds a live dispatcher from a
+// cmd/deployplan -json artifact.
+func NewFleetDispatcherFromArtifact(a *DeployArtifact, cfg FleetConfig) (*FleetDispatcher, error) {
+	d, err := fleet.NewDispatcherFromArtifact(a, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &FleetDispatcher{d: d, started: time.Now()}, nil //lint:allow walltime the live control plane's time base, mirroring transport.Server
+}
+
+// elapsed is the dispatcher's time base: wall time since construction.
+func (f *FleetDispatcher) elapsed() time.Duration {
+	return time.Since(f.started) //lint:allow walltime the live control plane's time base, mirroring transport.Server
+}
+
+// DispatchContext assigns the client a ranked server list. The returned
+// pool is ready for TestOptions.Servers: the admitted primary first, then
+// the failover alternates, so the engine's K-silent-windows redistribution
+// walks the dispatcher's ranking. Saturation surfaces as ErrFleetSaturated
+// (a *SaturatedError with a retry-after hint).
+func (f *FleetDispatcher) DispatchContext(ctx context.Context, client FleetClient) (FleetAssignment, []ServerAddr, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return FleetAssignment{}, nil, err
+		}
+	}
+	a, err := f.d.Dispatch(client, f.elapsed())
+	if err != nil {
+		return FleetAssignment{}, nil, err
+	}
+	return a, serverPool(a), nil
+}
+
+// ReassignContext moves a session whose server died to the best surviving
+// alternate of its assignment, returning the refreshed assignment and pool.
+func (f *FleetDispatcher) ReassignContext(ctx context.Context, a FleetAssignment) (FleetAssignment, []ServerAddr, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return FleetAssignment{}, nil, err
+		}
+	}
+	moved, err := f.d.Reassign(a, f.elapsed())
+	if err != nil {
+		return FleetAssignment{}, nil, err
+	}
+	return moved, serverPool(moved), nil
+}
+
+// Release frees an assignment's session lease once the test finishes.
+func (f *FleetDispatcher) Release(l FleetLease) { f.d.Registry().Release(l, f.elapsed()) }
+
+// Register claims a fleet slot for a live server (same-domain planned slots
+// first), returning its server ID for heartbeating.
+func (f *FleetDispatcher) Register(addr, domain string, uplinkMbps float64) (int, error) {
+	return f.d.Registry().Register(addr, domain, uplinkMbps, f.elapsed())
+}
+
+// Heartbeat records one liveness beat from server id.
+func (f *FleetDispatcher) Heartbeat(id int) error { return f.d.Registry().Heartbeat(id, f.elapsed()) }
+
+// Drain marks a server draining: in-flight tests finish, no new ones start.
+func (f *FleetDispatcher) Drain(id int) error { return f.d.Registry().Drain(id, f.elapsed()) }
+
+// Advance folds elapsed heartbeat windows: liveness detection, token-bucket
+// refill, lease expiry. Call it periodically (a ticker at the heartbeat
+// window is ample).
+func (f *FleetDispatcher) Advance() { f.d.Registry().Advance(f.elapsed()) }
+
+// Servers reports a snapshot of every fleet server, in ID order.
+func (f *FleetDispatcher) Servers() []FleetServerStatus { return f.d.Registry().Servers() }
+
+// Capacity reports the fleet-wide concurrent-session capacity at the
+// dispatcher's per-test sizing (DeployPlan.ConcurrentCapacity).
+func (f *FleetDispatcher) Capacity() int { return f.d.Capacity() }
+
+func serverPool(a FleetAssignment) []ServerAddr {
+	pool := make([]ServerAddr, 0, len(a.Servers))
+	for _, s := range a.Servers {
+		pool = append(pool, ServerAddr{Addr: s.Addr, UplinkMbps: s.UplinkMbps})
+	}
+	return pool
+}

@@ -1,0 +1,150 @@
+package swiftest_test
+
+// End-to-end fleet test over real loopback UDP: a deployment artifact boots
+// the live dispatcher, real test servers register into the planned slots,
+// DispatchContext hands a client the ranked pool, and a full bandwidth test
+// runs against the admitted primary — with the fleet visible on /metrics.
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	swiftest "github.com/mobilebandwidth/swiftest"
+)
+
+func buildFleetArtifact(t *testing.T) *swiftest.DeployArtifact {
+	t.Helper()
+	plan, err := swiftest.PlanDeployment(swiftest.ServerCatalogue(), 500, 0.075,
+		swiftest.PlanOptions{MinServers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	placements, err := swiftest.PlaceAtIXPs(plan, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := swiftest.DeployWorkload{
+		TestsPerDay:     20000,
+		AvgTestDuration: 1200 * time.Millisecond,
+		AvgBandwidth:    40,
+		PeakFactor:      2,
+	}
+	art := swiftest.NewDeployArtifact(w, plan, placements)
+	if err := art.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return art
+}
+
+// TestFleetDispatchEndToEnd drives artifact -> dispatcher -> registration ->
+// DispatchContext -> real UDP test -> release, scraping the fleet metrics at
+// the end.
+func TestFleetDispatchEndToEnd(t *testing.T) {
+	art := buildFleetArtifact(t)
+	metrics := swiftest.NewMetricsRegistry()
+	d, err := swiftest.NewFleetDispatcherFromArtifact(art, swiftest.FleetConfig{
+		PerTestMbps: 5,
+		Metrics:     metrics,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Three real UDP servers register into the planned slots.
+	domains := []string{"Beijing", "Shanghai", "Guangzhou"}
+	for i := 0; i < 3; i++ {
+		srv, err := swiftest.NewServer("127.0.0.1:0", swiftest.ServerOptions{UplinkMbps: 50})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		id, err := d.Register(srv.Addr(), domains[i], 50)
+		if err != nil {
+			t.Fatalf("Register server %d: %v", i, err)
+		}
+		if err := d.Heartbeat(id); err != nil {
+			t.Fatalf("Heartbeat %d: %v", id, err)
+		}
+	}
+	live := 0
+	for _, s := range d.Servers() {
+		if s.State.String() == "live" {
+			live++
+		}
+	}
+	if live != 3 {
+		t.Fatalf("%d live servers after registration, want 3", live)
+	}
+
+	a, pool, err := d.DispatchContext(context.Background(), swiftest.FleetClient{Key: 7, Domain: "Beijing"})
+	if err != nil {
+		t.Fatalf("DispatchContext: %v", err)
+	}
+	if len(pool) == 0 {
+		t.Fatal("empty dispatch pool")
+	}
+
+	model, err := swiftest.DefaultModel(swiftest.Tech4G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	res, err := swiftest.TestContext(ctx, swiftest.TestOptions{
+		Servers:     pool,
+		Model:       model,
+		MaxDuration: 1500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("TestContext against dispatched pool: %v", err)
+	}
+	if res.BandwidthMbps <= 0 {
+		t.Errorf("dispatched test measured %.1f Mbps, want > 0", res.BandwidthMbps)
+	}
+	d.Release(a.Lease)
+
+	// The fleet series must be visible on a real /metrics scrape.
+	ts := httptest.NewServer(metrics.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, name := range []string{
+		"swiftest_fleet_servers_live 3",
+		"swiftest_fleet_servers_draining 0",
+		"swiftest_fleet_servers_dead 0",
+		"swiftest_fleet_assignments_total 1",
+		"swiftest_fleet_rejected_total 0",
+	} {
+		if !strings.Contains(text, name) {
+			t.Errorf("metrics exposition missing %q", name)
+		}
+	}
+}
+
+// TestFleetDispatchContextCancelled: a cancelled context short-circuits
+// before touching the registry.
+func TestFleetDispatchContextCancelled(t *testing.T) {
+	art := buildFleetArtifact(t)
+	d, err := swiftest.NewFleetDispatcherFromArtifact(art, swiftest.FleetConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := d.DispatchContext(ctx, swiftest.FleetClient{Key: 1}); err != context.Canceled {
+		t.Errorf("DispatchContext on cancelled ctx = %v, want context.Canceled", err)
+	}
+}

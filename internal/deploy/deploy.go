@@ -55,6 +55,33 @@ func (p Plan) Servers() int {
 	return n
 }
 
+// SessionCap reports how many concurrent tests one server of this
+// configuration can carry when each test claims perTestMbps of egress — the
+// admission cap the fleet dispatcher enforces per server. Non-positive
+// perTestMbps means uncapped (0).
+func (c ServerConfig) SessionCap(perTestMbps float64) int {
+	if perTestMbps <= 0 || c.BandwidthMbps <= 0 {
+		return 0
+	}
+	return int(c.BandwidthMbps / perTestMbps)
+}
+
+// ConcurrentCapacity reports how many tests of perTestMbps each the plan's
+// fleet can serve concurrently: the sum of the per-server session caps. This
+// is the §5.2 sizing identity the dispatcher's admission control is derived
+// from; keeping it here stops the cap arithmetic from being re-derived (and
+// diverging) in the fleet layer. Non-positive perTestMbps returns 0.
+func (p Plan) ConcurrentCapacity(perTestMbps float64) int {
+	if perTestMbps <= 0 {
+		return 0
+	}
+	var total int
+	for _, pu := range p.Purchases {
+		total += pu.Count * pu.Config.SessionCap(perTestMbps)
+	}
+	return total
+}
+
 // Workload describes recent bandwidth-testing activity, the §5.2 inputs for
 // capacity estimation.
 type Workload struct {

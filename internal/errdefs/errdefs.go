@@ -9,6 +9,7 @@ package errdefs
 import (
 	"errors"
 	"fmt"
+	"time"
 )
 
 // Sentinel causes for bandwidth-test failures.
@@ -26,7 +27,30 @@ var (
 	// ErrTestAborted reports a test cancelled by its context (cancellation
 	// or deadline) before completing.
 	ErrTestAborted = errors.New("test aborted")
+	// ErrFleetSaturated reports that the dispatch control plane admitted no
+	// server for a test: every live server is at its concurrent-session cap
+	// or out of admission tokens. The error usually arrives wrapped in a
+	// *SaturatedError carrying a retry-after hint.
+	ErrFleetSaturated = errors.New("fleet saturated")
 )
+
+// SaturatedError is the structured form of ErrFleetSaturated: the dispatcher
+// rejected a test and suggests when admission capacity should be back.
+// errors.Is(err, ErrFleetSaturated) matches it; errors.As recovers the hint.
+type SaturatedError struct {
+	// RetryAfter is the dispatcher's estimate of when a token or session
+	// slot frees up. It is a hint, not a reservation.
+	RetryAfter time.Duration
+	// Servers is the number of live servers that were consulted and full.
+	Servers int
+}
+
+func (e *SaturatedError) Error() string {
+	return fmt.Sprintf("%v: %d live servers at capacity, retry after %v",
+		ErrFleetSaturated, e.Servers, e.RetryAfter)
+}
+
+func (e *SaturatedError) Unwrap() error { return ErrFleetSaturated }
 
 // ServerError attributes a failure to one test server: which address, and
 // which protocol operation was in flight. It wraps the underlying cause, so

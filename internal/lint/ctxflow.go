@@ -43,6 +43,8 @@ func init() { Register(CtxFlow) }
 var ctxFlowPackageSuffixes = []string{
 	"internal/transport",
 	"internal/baseline",
+	"internal/fleet",
+	"internal/loadgen",
 }
 
 // blockingReadFuncs are method names that block on network input.

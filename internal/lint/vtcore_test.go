@@ -1,0 +1,112 @@
+package lint
+
+import "testing"
+
+// TestVTCoreFlagsPackageOptOut: a package-level walltime opt-out inside the
+// pinned virtual-time core is itself a diagnostic — it would silently exempt
+// all future code in the package from the wall-clock ban.
+func TestVTCoreFlagsPackageOptOut(t *testing.T) {
+	runFixture(t, VTCore, "example.com/internal/fleet", map[string]string{
+		"fleet.go": `// Package fleet would love a shortcut.
+//
+//lint:allow walltime just this once // want "inside virtual-time core package"
+package fleet
+`,
+	})
+}
+
+// TestVTCoreFlagsLineOptOut: line-level directives are no better — the
+// directive is the finding, wherever it sits, including comma lists.
+func TestVTCoreFlagsLineOptOut(t *testing.T) {
+	runFixture(t, VTCore, "example.com/internal/loadgen", map[string]string{
+		"loadgen.go": `package loadgen
+
+import "time"
+
+func Step() time.Time {
+	return time.Now() //lint:allow walltime expedient // want "inside virtual-time core package"
+}
+
+func Pace() { //lint:allow ctxflow,walltime bundled excuse // want "inside virtual-time core package"
+	time.Sleep(time.Millisecond)
+}
+`,
+	})
+}
+
+// TestVTCoreIgnoresOtherPackagesAndDirectives: outside the pinned set the
+// analyzer is silent, and inside it non-walltime allows are none of its
+// business.
+func TestVTCoreIgnoresOtherPackagesAndDirectives(t *testing.T) {
+	runFixture(t, VTCore, "example.com/internal/transport", map[string]string{
+		"transport.go": `// Package transport is deployment-side.
+//
+//lint:allow walltime paced against real sockets
+package transport
+`,
+	})
+	runFixture(t, VTCore, "example.com/internal/fleet", map[string]string{
+		"fleet.go": `package fleet
+
+func Register() { //lint:allow ctxflow bounded by Drain
+}
+`,
+	})
+}
+
+// TestWalltimeFiresInFleetFixture: the self-check the fleet packages rely
+// on — raw wall-clock reads in a fleet-shaped package are flagged by
+// walltime with no opt-out present.
+func TestWalltimeFiresInFleetFixture(t *testing.T) {
+	runFixture(t, Walltime, "example.com/internal/fleet", map[string]string{
+		"registry.go": `package fleet
+
+import "time"
+
+type Registry struct {
+	nextWindow time.Duration
+}
+
+func (r *Registry) Advance() {
+	_ = time.Now() // want "wall-clock time.Now in a virtual-time package"
+}
+
+// Caller-stamped instants are the approved pattern.
+func (r *Registry) AdvanceAt(at time.Duration) {
+	for r.nextWindow <= at {
+		r.nextWindow += 500 * time.Millisecond
+	}
+}
+`,
+	})
+}
+
+// TestCtxFlowCoversFleet: the fleet/loadgen suffixes are under ctxflow —
+// an exported function that spawns a goroutine without a context is flagged
+// there just as it would be in transport.
+func TestCtxFlowCoversFleet(t *testing.T) {
+	runFixture(t, CtxFlow, "example.com/internal/fleet", map[string]string{
+		"fleet.go": `package fleet
+
+import "context"
+
+func Watch() { // want "starts a goroutine but accepts no context.Context"
+	go func() {}()
+}
+
+func WatchContext(ctx context.Context) {
+	go func() { <-ctx.Done() }()
+}
+`,
+	})
+	runFixture(t, CtxFlow, "example.com/internal/loadgen", map[string]string{
+		"loadgen.go": `package loadgen
+
+import "time"
+
+func Drive() { // want "parks in time.Sleep"
+	time.Sleep(time.Second)
+}
+`,
+	})
+}

@@ -1,0 +1,434 @@
+// Package loadgen drives thousands of emulated clients through a fleet
+// dispatcher over a pool of emulated server uplinks, entirely in virtual
+// time — the executable form of §5.2's Figure 26 claim that a handful of
+// planned budget servers absorbs the crowdsourced test load that BTS-APP
+// spreads over 352 machines.
+//
+// The generator compresses one diurnal day (deploy.GenerateTrace, the same
+// arrival process that motivated the plan) into a short virtual horizon,
+// spawns clients to track the target concurrency, dispatches each through
+// fleet.Dispatcher, and runs every admitted test as a linksim flow on its
+// server's uplink. Servers heartbeat every step unless a fault plan blacks
+// them out, so an injected blackout kills a server by the same
+// K-silent-windows rule the data plane uses — and the affected clients fail
+// over along their ranked assignment, exactly the path a real client takes.
+//
+// Everything is deterministic: a fixed seed produces a byte-identical
+// assignment stream regardless of Workers, because workers only parallelise
+// the per-server link simulation (independent seeded state, merged in
+// server order) while arrivals, dispatch, completions and failovers run
+// single-threaded in a canonical order.
+package loadgen
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/mobilebandwidth/swiftest/internal/deploy"
+	"github.com/mobilebandwidth/swiftest/internal/errdefs"
+	"github.com/mobilebandwidth/swiftest/internal/faults"
+	"github.com/mobilebandwidth/swiftest/internal/fleet"
+	"github.com/mobilebandwidth/swiftest/internal/linksim"
+	"github.com/mobilebandwidth/swiftest/internal/obs"
+)
+
+// Step is the generator's scheduling quantum: arrivals, heartbeats,
+// completions and failover checks happen once per step, matching the
+// engine's 50 ms sampling interval.
+const Step = linksim.SampleInterval
+
+// Defaults for Config zero values.
+const (
+	DefaultDuration     = 30 * time.Second
+	DefaultTestDuration = 2 * time.Second
+	DefaultPerTestMbps  = 1.0
+)
+
+// Config parameterises one load-generation run.
+type Config struct {
+	// Plan is the deployment plan under test. Required.
+	Plan deploy.Plan
+	// Placements optionally places the plan's servers in IXP domains,
+	// enabling latency-aware ranking.
+	Placements []deploy.Placement
+	// Duration is the virtual horizon; one full diurnal day of arrivals is
+	// compressed into it, so every run sweeps trough and peak hour. Zero
+	// selects DefaultDuration.
+	Duration time.Duration
+	// PeakConcurrent is the target number of concurrent tests at the peak
+	// hour of the diurnal curve. Required.
+	PeakConcurrent int
+	// TestDuration is each emulated test's service time; zero selects
+	// DefaultTestDuration.
+	TestDuration time.Duration
+	// PerTestMbps is the rate each client offers its server; zero selects
+	// DefaultPerTestMbps. It is also the dispatcher's admission sizing, so
+	// the plan's session capacity is Plan.ConcurrentCapacity(PerTestMbps).
+	PerTestMbps float64
+	// Workers bounds the goroutines advancing per-server links; zero means
+	// one. The assignment stream is independent of this value.
+	Workers int
+	// Seed drives every random process (arrivals, link noise, tie-breaks).
+	Seed int64
+	// HourlyWeights overrides the diurnal arrival shape; nil selects
+	// deploy.DefaultDiurnal.
+	HourlyWeights []float64
+	// BurstProb is the flash-crowd probability per trace step, forwarded to
+	// deploy.GenerateTrace: zero selects its default, negative disables.
+	BurstProb float64
+	// Faults, when non-nil, injects server faults: a blackout silences both
+	// the server's heartbeats and its flows' delivery. Server indexes in
+	// the plan (registry IDs) are the fault plan's server indexes.
+	Faults *faults.Injector
+	// Metrics and Trace, when non-nil, receive the fleet's observability
+	// stream.
+	Metrics *obs.Registry
+	Trace   *obs.Trace
+}
+
+// ServerReport is one server's share of a run.
+type ServerReport struct {
+	fleet.ServerInfo
+	DeliveredMB  float64 // bytes delivered to clients, in MB
+	Utilization  float64 // mean delivered rate over the run ÷ uplink
+	PeakSessions int
+}
+
+// Report summarises a run.
+type Report struct {
+	Duration       time.Duration
+	TestsStarted   int // dispatches admitted
+	TestsCompleted int // ran to their full duration
+	TestsRejected  int // shed with errdefs.ErrFleetSaturated
+	TestsAbandoned int // lost their server and found no failover target
+	Failovers      int // mid-test reassignment to a ranked alternate
+	PeakConcurrent int
+	// RejectionRate is rejected ÷ (admitted + rejected) — the load-shedding
+	// fraction.
+	RejectionRate float64
+	// MeanAchievedMbps averages completed tests' delivered rates.
+	MeanAchievedMbps float64
+	Servers          []ServerReport
+	// AssignmentDigest is a SHA-256 over the ordered assignment stream
+	// (every dispatch, rejection, failover and completion): byte-identical
+	// across runs with the same seed, whatever Workers is.
+	AssignmentDigest string
+}
+
+// client is one emulated test in flight.
+type client struct {
+	key     uint64
+	assign  fleet.Assignment
+	flow    *linksim.Flow
+	server  int
+	end     time.Duration
+	last    float64 // DeliveredBytes at the previous sample
+	tracker *faults.LostTracker
+}
+
+// Run executes the load generation to completion (or ctx cancellation,
+// which returns the partial report and the context error).
+func Run(ctx context.Context, cfg Config) (Report, error) {
+	if cfg.PeakConcurrent <= 0 {
+		return Report{}, fmt.Errorf("loadgen: PeakConcurrent %d must be positive", cfg.PeakConcurrent)
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = DefaultDuration
+	}
+	if cfg.TestDuration <= 0 {
+		cfg.TestDuration = DefaultTestDuration
+	}
+	if cfg.PerTestMbps <= 0 {
+		cfg.PerTestMbps = DefaultPerTestMbps
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+
+	d, err := fleet.NewDispatcher(cfg.Plan, cfg.Placements, fleet.Config{
+		PerTestMbps:     cfg.PerTestMbps,
+		AvgTestDuration: cfg.TestDuration,
+		Seed:            cfg.Seed,
+		ActivatePlanned: true,
+		Metrics:         cfg.Metrics,
+		Trace:           cfg.Trace,
+	})
+	if err != nil {
+		return Report{}, err
+	}
+	reg := d.Registry()
+	targets, err := arrivalTargets(cfg)
+	if err != nil {
+		return Report{}, err
+	}
+
+	// One emulated uplink per planned server, independently seeded.
+	infos := reg.Servers()
+	links := make([]*linksim.Link, len(infos))
+	peakSessions := make([]int, len(infos))
+	delivered := make([]float64, len(infos))
+	for i, s := range infos {
+		links[i], err = linksim.New(linksim.Config{
+			CapacityMbps: s.UplinkMbps,
+			RTT:          20 * time.Millisecond,
+			Fluctuation:  0.05,
+		}, int64(mix(cfg.Seed, uint64(i))))
+		if err != nil {
+			return Report{}, fmt.Errorf("loadgen: server %d link: %w", i, err)
+		}
+	}
+
+	rep := Report{Duration: cfg.Duration, Servers: make([]ServerReport, len(infos))}
+	digest := sha256.New()
+	var (
+		active   []*client
+		nextKey  uint64
+		achieved float64
+	)
+	ticksPerStep := int(Step / linksim.Tick)
+	steps := int(cfg.Duration / Step)
+	for step := 0; step < steps; step++ {
+		if err := ctx.Err(); err != nil {
+			finishReport(&rep, digest, infos, links, delivered, peakSessions, achieved, time.Duration(step)*Step)
+			return rep, err
+		}
+		at := time.Duration(step) * Step
+
+		// Heartbeats: every server beats unless its fault plan blacks it
+		// out — blackout silences the control plane and the data plane
+		// identically.
+		for i := range infos {
+			if cfg.Faults != nil && cfg.Faults.Blackout(i, at) {
+				continue
+			}
+			st := reg.Servers()[i].State
+			if st == fleet.StateLive || st == fleet.StateDead || st == fleet.StateDraining {
+				_ = reg.Heartbeat(i, at)
+			}
+		}
+		reg.Advance(at)
+
+		// Arrivals: spawn clients up to the trace's target concurrency.
+		target := targets[step*len(targets)/steps]
+		for len(active) < target {
+			key := nextKey
+			nextKey++
+			a, err := d.Dispatch(fleet.ClientInfo{Key: key, Domain: clientDomain(cfg, key)}, at)
+			if err != nil {
+				if errors.Is(err, errdefs.ErrFleetSaturated) {
+					rep.TestsRejected++
+					fmt.Fprintf(digest, "reject %d\n", key)
+					break // the bucket is dry; retry next step
+				}
+				finishReport(&rep, digest, infos, links, delivered, peakSessions, achieved, at)
+				return rep, err
+			}
+			rep.TestsStarted++
+			fmt.Fprintf(digest, "assign %d -> %s\n", key, assignKey(a))
+			c := &client{
+				key:     key,
+				assign:  a,
+				server:  a.Lease.Server,
+				end:     at + cfg.TestDuration,
+				tracker: faults.NewLostTracker(0),
+			}
+			c.openFlow(links, cfg)
+			active = append(active, c)
+		}
+		if len(active) > rep.PeakConcurrent {
+			rep.PeakConcurrent = len(active)
+		}
+		for i := range infos {
+			if s := reg.Servers()[i].Sessions; s > peakSessions[i] {
+				peakSessions[i] = s
+			}
+		}
+
+		// Parallel phase: advance every server link one step. Links are
+		// independent (own rng, own flows), so goroutine scheduling cannot
+		// change any outcome.
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, cfg.Workers)
+		for _, l := range links {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(l *linksim.Link) {
+				defer wg.Done()
+				for t := 0; t < ticksPerStep; t++ {
+					l.Advance()
+				}
+				<-sem
+			}(l)
+		}
+		wg.Wait()
+		after := at + Step
+
+		// Sequential phase: sample every client in spawn order, detect
+		// dead servers, fail over, complete finished tests.
+		kept := active[:0]
+		for _, c := range active {
+			bytes := c.flow.DeliveredBytes()
+			delta := bytes - c.last
+			c.last = bytes
+			delivered[c.server] += delta
+			if c.tracker.Observe(int64(delta), true) {
+				// K silent sample windows: the server is gone from this
+				// client's perspective — fail over along the ranked list.
+				moved, err := d.Reassign(c.assign, after)
+				if err != nil {
+					rep.TestsAbandoned++
+					fmt.Fprintf(digest, "abandon %d\n", c.key)
+					c.flow.Close()
+					continue
+				}
+				rep.Failovers++
+				fmt.Fprintf(digest, "failover %d -> %s\n", c.key, assignKey(moved))
+				c.flow.Close()
+				c.assign = moved
+				c.server = moved.Lease.Server
+				c.last = 0
+				c.tracker = faults.NewLostTracker(0)
+				c.openFlow(links, cfg)
+				kept = append(kept, c)
+				continue
+			}
+			if after >= c.end {
+				rep.TestsCompleted++
+				achieved += bytes * 8 / cfg.TestDuration.Seconds() / 1e6
+				fmt.Fprintf(digest, "complete %d\n", c.key)
+				c.flow.Close()
+				reg.Release(c.assign.Lease, after)
+				continue
+			}
+			kept = append(kept, c)
+		}
+		active = kept
+	}
+	for _, c := range active {
+		c.flow.Close()
+		reg.Release(c.assign.Lease, cfg.Duration)
+	}
+	finishReport(&rep, digest, infos, links, delivered, peakSessions, achieved, cfg.Duration)
+	return rep, nil
+}
+
+// openFlow attaches the client to its current server's link, wiring the
+// fault injector's impairments for that server.
+func (c *client) openFlow(links []*linksim.Link, cfg Config) {
+	c.flow = links[c.server].NewFlow()
+	c.flow.SetOffered(cfg.PerTestMbps)
+	if inj := cfg.Faults; inj != nil {
+		server := c.server
+		c.flow.SetImpairment(func(at time.Duration) linksim.Impairment {
+			im := linksim.Impairment{
+				Down:     inj.Blackout(server, at),
+				LossProb: inj.LossProb(server, at),
+			}
+			if cap, ok := inj.CapMbps(server, at); ok {
+				im.CapMbps = cap
+			}
+			return im
+		})
+	}
+}
+
+// arrivalTargets compresses one diurnal day into a per-trace-point target
+// concurrency, scaled so the peak hour hits cfg.PeakConcurrent. Poisson
+// draws degrade above λ ≈ 700 (the Knuth sampler underflows), so the trace
+// counts in units of ceil(peak/500) clients.
+func arrivalTargets(cfg Config) ([]int, error) {
+	weights := cfg.HourlyWeights
+	if weights == nil {
+		weights = deploy.DefaultDiurnal()
+	}
+	var wsum, wmax float64
+	for _, w := range weights {
+		wsum += w
+		if w > wmax {
+			wmax = w
+		}
+	}
+	if wsum <= 0 || wmax <= 0 {
+		return nil, fmt.Errorf("loadgen: hourly weights sum to %g", wsum)
+	}
+	unit := math.Ceil(float64(cfg.PeakConcurrent) / 500)
+	dur := cfg.TestDuration
+	// Peak-hour concurrency λ·unit = PeakConcurrent ⇒ solve for TestsPerDay.
+	perDay := float64(cfg.PeakConcurrent) / unit * 3600 * wsum / (wmax * dur.Seconds())
+	trace, err := deploy.GenerateTrace(deploy.TraceOptions{
+		Days:          1,
+		TestsPerDay:   perDay,
+		TestDuration:  dur,
+		DrawBandwidth: func(*rand.Rand) float64 { return unit },
+		HourlyWeights: weights,
+		BurstProb:     cfg.BurstProb,
+		Seed:          cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	targets := make([]int, len(trace))
+	for i, p := range trace {
+		targets[i] = int(p.RequiredMbps)
+	}
+	return targets, nil
+}
+
+// clientDomain spreads clients across the IXP domains deterministically.
+func clientDomain(cfg Config, key uint64) string {
+	if len(cfg.Placements) == 0 {
+		return ""
+	}
+	return deploy.IXPDomains[mix(cfg.Seed, key)%uint64(len(deploy.IXPDomains))]
+}
+
+func assignKey(a fleet.Assignment) string {
+	out := ""
+	for _, s := range a.Servers {
+		out += fmt.Sprintf("%d,", s.ID)
+	}
+	return out
+}
+
+func finishReport(rep *Report, digest interface{ Sum([]byte) []byte }, infos []fleet.ServerStatus, links []*linksim.Link, delivered []float64, peakSessions []int, achieved float64, ran time.Duration) {
+	rep.Duration = ran
+	if n := rep.TestsStarted + rep.TestsRejected; n > 0 {
+		rep.RejectionRate = float64(rep.TestsRejected) / float64(n)
+	}
+	if rep.TestsCompleted > 0 {
+		rep.MeanAchievedMbps = achieved / float64(rep.TestsCompleted)
+	}
+	for i, s := range infos {
+		util := 0.0
+		if s.UplinkMbps > 0 && ran > 0 {
+			util = delivered[i] * 8 / ran.Seconds() / 1e6 / s.UplinkMbps
+		}
+		rep.Servers[i] = ServerReport{
+			ServerInfo:   s.ServerInfo,
+			DeliveredMB:  delivered[i] / 1e6,
+			Utilization:  util,
+			PeakSessions: peakSessions[i],
+		}
+	}
+	rep.AssignmentDigest = hex.EncodeToString(digest.Sum(nil))
+}
+
+// mix is splitmix64 over (seed, v) — the package's only randomness outside
+// the seeded generators.
+func mix(seed int64, v uint64) uint64 {
+	x := uint64(seed) ^ v*0x9e3779b97f4a7c15
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -34,6 +34,14 @@ const (
 	EventError         = "error"           // note = error text
 )
 
+// Trace kinds emitted by the fleet dispatch control plane.
+const (
+	EventAssign     = "assign"      // value = client key, aux = server load (sessions), note = server address
+	EventReject     = "reject"      // value = client key, aux = retry-after hint (seconds)
+	EventServerDead = "server_dead" // value = silent heartbeat windows, note = server address
+	EventDrain      = "drain"       // value = in-flight sessions at drain start, note = server address
+)
+
 // Event is one structured trace record. At is elapsed time since the start
 // of the test, stamped by the caller — virtual time under the emulator, wall
 // time over the real transport — so the tracer itself never reads a clock.

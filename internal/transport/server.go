@@ -160,6 +160,13 @@ func (s *Server) logf(msg string, args ...any) {
 // elapsed is the fault plan's time base: wall time since the server started.
 func (s *Server) elapsed() time.Duration { return time.Since(s.started) }
 
+// BlackedOut reports whether the server's fault plan has it blacked out
+// right now. The fleet heartbeat loop (cmd/swiftest serve -register) gates
+// beats on this, so an injected blackout silences the control plane exactly
+// when it silences the data plane and the dispatcher's K-silent-windows rule
+// marks the server dead — the same detector, both worlds.
+func (s *Server) BlackedOut() bool { return s.cfg.Faults.Blackout(s.elapsed()) }
+
 func (s *Server) readLoop() {
 	defer s.wg.Done()
 	buf := make([]byte, 2048)

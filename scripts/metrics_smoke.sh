@@ -2,26 +2,46 @@
 # Loopback observability smoke: start a metrics-enabled test server, run one
 # real client test with a run-record, scrape /metrics, and assert that every
 # documented server metric is present in the Prometheus text exposition.
+#
+# Both listeners bind ephemeral ports (:0) and the actual addresses are
+# scraped from the server's startup log, so the smoke can run concurrently
+# with anything else on the machine.
 set -euo pipefail
 
-SERVE_ADDR=127.0.0.1:7907
-METRICS_ADDR=127.0.0.1:9907
 WORK="$(mktemp -d)"
 trap 'kill "${SRV_PID:-}" 2>/dev/null || true; rm -rf "$WORK"' EXIT
 
 go build -o "$WORK/swiftest" ./cmd/swiftest
 
-"$WORK/swiftest" serve -addr "$SERVE_ADDR" -uplink 100 -metrics "$METRICS_ADDR" &
+"$WORK/swiftest" serve -addr 127.0.0.1:0 -uplink 100 -metrics 127.0.0.1:0 \
+  > "$WORK/serve.log" 2>&1 &
 SRV_PID=$!
 
-# Wait for the metrics endpoint to come up.
+# The server logs its bound addresses; wait for both lines to appear.
+SERVE_ADDR= METRICS_ADDR=
 for i in $(seq 1 50); do
-  if curl -fsS "http://$METRICS_ADDR/metrics" >/dev/null 2>&1; then
+  SERVE_ADDR="$(sed -n 's/^swiftest server listening on \([^ ]*\).*/\1/p' "$WORK/serve.log")"
+  METRICS_ADDR="$(sed -n 's|^metrics on http://\([^/]*\)/metrics.*|\1|p' "$WORK/serve.log")"
+  if [ -n "$SERVE_ADDR" ] && [ -n "$METRICS_ADDR" ]; then
     break
   fi
   if ! kill -0 "$SRV_PID" 2>/dev/null; then
-    echo "server exited before the metrics endpoint came up" >&2
+    echo "server exited before logging its addresses:" >&2
+    cat "$WORK/serve.log" >&2
     exit 1
+  fi
+  sleep 0.1
+done
+if [ -z "$SERVE_ADDR" ] || [ -z "$METRICS_ADDR" ]; then
+  echo "could not parse listen addresses from the server log:" >&2
+  cat "$WORK/serve.log" >&2
+  exit 1
+fi
+
+# Wait for the metrics endpoint to answer.
+for i in $(seq 1 50); do
+  if curl -fsS "http://$METRICS_ADDR/metrics" >/dev/null 2>&1; then
+    break
   fi
   sleep 0.1
 done

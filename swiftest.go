@@ -243,6 +243,11 @@ func (s *Server) BytesSent() int64 { return s.inner.BytesSent() }
 // ActiveTests reports the number of in-flight tests.
 func (s *Server) ActiveTests() int { return s.inner.ActiveSessions() }
 
+// BlackedOut reports whether the server's fault plan has it blacked out
+// right now. Fleet heartbeat loops gate beats on this so an injected
+// blackout silences the control plane and the data plane together.
+func (s *Server) BlackedOut() bool { return s.inner.BlackedOut() }
+
 // Close stops the server.
 func (s *Server) Close() error { return s.inner.Close() }
 
