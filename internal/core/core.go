@@ -155,7 +155,7 @@ func RunContext(ctx context.Context, p Probe, cfg Config) (Result, error) {
 		return Result{}, fmt.Errorf("core: model's most probable mode %g is not a usable rate", initial)
 	}
 	if err := ctx.Err(); err != nil {
-		return Result{}, fmt.Errorf("core: %w before start: %v", errdefs.ErrTestAborted, err)
+		return Result{}, fmt.Errorf("core: %w before start: %w", errdefs.ErrTestAborted, err)
 	}
 	rate := initial
 	cfg.Metrics.onStart()
@@ -175,7 +175,7 @@ func RunContext(ctx context.Context, p Probe, cfg Config) (Result, error) {
 			cfg.Metrics.onAbort()
 			res.Duration = p.Elapsed()
 			res.DataMB = p.DataMB()
-			return res, fmt.Errorf("core: %w: %v", errdefs.ErrTestAborted, err)
+			return res, fmt.Errorf("core: %w: %w", errdefs.ErrTestAborted, err)
 		}
 		if !ok {
 			cfg.Trace.Record(p.Elapsed(), obs.EventProbeEnd, 0, 0, "")

@@ -5,6 +5,7 @@ import (
 
 	"github.com/mobilebandwidth/swiftest/internal/gmm"
 	"github.com/mobilebandwidth/swiftest/internal/spectrum"
+	"github.com/mobilebandwidth/swiftest/internal/stats"
 )
 
 // This file is the single place where the paper's §3 findings are encoded as
@@ -380,23 +381,15 @@ func normalizedUrban(tech Tech) (float64, float64) {
 	return uf.urban / mean, uf.rural / mean
 }
 
-// hash64 is a splitmix64-style avalanche for deterministic per-entity
-// factors (city factor, device-model bias) independent of draw order.
-func hash64(x uint64) uint64 {
-	x += 0x9e3779b97f4a7c15
-	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
-	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
-	return x ^ (x >> 31)
-}
-
 // unitNormalFromHash maps an id to a deterministic ≈N(0,1) value via an
-// Irwin–Hall sum of hashed uniforms.
+// Irwin–Hall sum of hashed uniforms (stats.SplitMix64 is the avalanche, so
+// per-entity factors are independent of draw order).
 func unitNormalFromHash(id, salt uint64) float64 {
 	var sum float64
-	h := hash64(id ^ salt)
+	h := stats.SplitMix64(id ^ salt)
 	for i := 0; i < 12; i++ {
-		h = hash64(h)
-		sum += float64(h>>11) / float64(1<<53)
+		h = stats.SplitMix64(h)
+		sum += stats.Uniform01(h)
 	}
 	return sum - 6
 }

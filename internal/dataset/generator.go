@@ -8,6 +8,7 @@ import (
 
 	"github.com/mobilebandwidth/swiftest/internal/gmm"
 	"github.com/mobilebandwidth/swiftest/internal/spectrum"
+	"github.com/mobilebandwidth/swiftest/internal/stats"
 )
 
 // Config parameterises a Generator.
@@ -247,6 +248,8 @@ func (g *Generator) Generate(n int) []Record {
 }
 
 // Next draws one record.
+//
+// swiftvet:hotpath
 func (g *Generator) Next() Record {
 	r := Record{Year: g.cfg.Year}
 
@@ -457,7 +460,7 @@ func (g *Generator) drawStationID(r *Record) uint32 {
 		return uint32(g.rng.Intn(1 << 22))
 	}
 	// Base stations: a few hundred per city and band.
-	base := hash64(uint64(r.CityID)<<16 ^ uint64(len(r.Band)) ^ uint64(r.Band[0]))
+	base := stats.SplitMix64(uint64(r.CityID)<<16 ^ uint64(len(r.Band)) ^ uint64(r.Band[0]))
 	return uint32(base%1_000_000)*512 + uint32(g.rng.Intn(400))
 }
 

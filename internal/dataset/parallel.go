@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"github.com/mobilebandwidth/swiftest/internal/stats"
 )
 
 // ShardSize is the fixed shard width of the deterministic parallel
@@ -14,10 +16,10 @@ import (
 const ShardSize = 8192
 
 // shardSeed derives the RNG seed of one shard from the base seed. A
-// splitmix-style avalanche (hash64) decorrelates neighbouring shards even
-// though their (seed, index) inputs differ by one bit.
+// splitmix-style avalanche (stats.SplitMix64) decorrelates neighbouring
+// shards even though their (seed, index) inputs differ by one bit.
 func shardSeed(base int64, shard int) int64 {
-	return int64(hash64(uint64(base) ^ hash64(uint64(shard)+0x9e3779b97f4a7c15)))
+	return int64(stats.SplitMix64(uint64(base) ^ stats.SplitMix64(uint64(shard)+stats.SplitMix64Gamma)))
 }
 
 // Shard returns a fresh generator for shard index s of this generator's

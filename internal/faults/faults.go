@@ -19,6 +19,8 @@ import (
 	"math"
 	"os"
 	"time"
+
+	"github.com/mobilebandwidth/swiftest/internal/stats"
 )
 
 // Kind enumerates the fault types a plan can schedule.
@@ -191,7 +193,7 @@ func (p *Plan) Injector() *Injector {
 	if p == nil {
 		return nil
 	}
-	return &Injector{plan: *p, seed: splitmix64(uint64(p.Seed) ^ 0x5bf0f5249ab71d6d)}
+	return &Injector{plan: *p, seed: stats.SplitMix64(uint64(p.Seed) ^ 0x5bf0f5249ab71d6d)}
 }
 
 // Injector answers point-in-time fault queries for a plan. All methods are
@@ -334,17 +336,9 @@ func (inj *Injector) CapMbps(server int, at time.Duration) (float64, bool) {
 // draw produces a uniform [0,1) variate as a pure hash of the injector
 // seed and the query coordinates.
 func (inj *Injector) draw(domain uint64, parts ...uint64) float64 {
-	x := inj.seed ^ splitmix64(domain)
+	x := inj.seed ^ stats.SplitMix64(domain)
 	for _, p := range parts {
-		x = splitmix64(x ^ p*0x9e3779b97f4a7c15)
+		x = stats.SplitMix64(x ^ p*stats.SplitMix64Gamma)
 	}
-	return float64(x>>11) / (1 << 53)
-}
-
-// splitmix64 is the standard 64-bit finalizer-style mixer.
-func splitmix64(x uint64) uint64 {
-	x += 0x9e3779b97f4a7c15
-	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
-	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
-	return x ^ (x >> 31)
+	return stats.Uniform01(x)
 }

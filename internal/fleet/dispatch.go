@@ -9,6 +9,7 @@ import (
 	"github.com/mobilebandwidth/swiftest/internal/errdefs"
 	"github.com/mobilebandwidth/swiftest/internal/faults"
 	"github.com/mobilebandwidth/swiftest/internal/obs"
+	"github.com/mobilebandwidth/swiftest/internal/stats"
 )
 
 // Defaults for the Dispatcher's admission sizing. PerTestMbps follows the
@@ -102,6 +103,10 @@ type Dispatcher struct {
 	cfg  Config
 	plan deploy.Plan
 }
+
+// errNoLiveServers is the no-live-servers rejection, wrapped once at package
+// level so Dispatch's hot path returns it without formatting.
+var errNoLiveServers = fmt.Errorf("fleet: dispatch: %w: no live servers", errdefs.ErrNoReachableServer)
 
 // NewDispatcher builds the control plane for a deployment plan: one planned
 // slot per purchased server, placed in its IXP domain, with admission caps
@@ -224,6 +229,8 @@ func (d *Dispatcher) Capacity() int { return d.plan.ConcurrentCapacity(d.cfg.Per
 // session lease; the alternates back the client's mid-test failover. With
 // every live server at capacity it returns a *errdefs.SaturatedError (match
 // errors.Is(err, errdefs.ErrFleetSaturated)) carrying a retry-after hint.
+//
+// swiftvet:hotpath
 func (d *Dispatcher) Dispatch(client ClientInfo, at time.Duration) (Assignment, error) {
 	claim := client.ClaimMbps
 	if claim <= 0 {
@@ -237,7 +244,7 @@ func (d *Dispatcher) Dispatch(client ClientInfo, at time.Duration) (Assignment, 
 	if len(ranked) == 0 {
 		r.metrics.rejectedTotal.Inc()
 		r.trace.Record(at, obs.EventReject, float64(client.Key), 0, "no live servers")
-		return Assignment{}, fmt.Errorf("fleet: dispatch: %w: no live servers", errdefs.ErrNoReachableServer)
+		return Assignment{}, errNoLiveServers
 	}
 	primary := -1
 	for i, idx := range ranked {
@@ -462,12 +469,5 @@ func latencyEstimateMs(clientDom, serverDom int) float64 {
 // tieBreak is a splitmix64 hash of (seed, client, server): the deterministic
 // coin that spreads equally attractive servers across clients.
 func tieBreak(seed int64, client uint64, serverID int) uint64 {
-	x := uint64(seed) ^ client*0x9e3779b97f4a7c15 ^ uint64(serverID)<<32
-	x += 0x9e3779b97f4a7c15
-	x ^= x >> 30
-	x *= 0xbf58476d1ce4e5b9
-	x ^= x >> 27
-	x *= 0x94d049bb133111eb
-	x ^= x >> 31
-	return x
+	return stats.SplitMix64(uint64(seed) ^ client*stats.SplitMix64Gamma ^ uint64(serverID)<<32)
 }

@@ -3,7 +3,6 @@ package lint
 import (
 	"go/ast"
 	"go/types"
-	"strings"
 )
 
 // CtxFlow keeps the deployable hot paths cancellable. In the packages that
@@ -72,14 +71,7 @@ var ctxDeriveFuncs = map[string]bool{
 }
 
 func runCtxFlow(pass *Pass) error {
-	enforced := false
-	for _, suffix := range ctxFlowPackageSuffixes {
-		if strings.HasSuffix(pass.PkgPath, suffix) {
-			enforced = true
-			break
-		}
-	}
-	if !enforced {
+	if !pathHasSuffix(pass.PkgPath, ctxFlowPackageSuffixes) {
 		return nil
 	}
 	for _, file := range pass.Files {

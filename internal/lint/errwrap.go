@@ -1,0 +1,215 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Errwrap enforces the structured-error discipline of the public-facing
+// layers. PR 4 made every caller-visible failure either an errdefs sentinel
+// (matched with errors.Is) or a wrapper that preserves its cause through
+// %w; code that formats an error with %v/%s flattens the chain and breaks
+// errors.Is/As dispatch two layers up, and code that compares errors with
+// == misses every wrapped form. Both mistakes are invisible until a caller
+// depends on the match — so both are diagnostics here, each carrying a
+// machine-applicable fix (`swiftvet -fix`):
+//
+//   - fmt.Errorf("...: %v", err) with an error operand rewrites the verb
+//     to %w;
+//   - err == sentinel (and !=) rewrites to errors.Is(err, sentinel) when
+//     the file already imports errors (without the import the diagnostic
+//     stands alone).
+//
+// Enforcement covers the packages whose errors cross an API boundary:
+// internal/transport, internal/fleet, internal/core and the root swiftest
+// package. Comparisons against nil are legal (that is the non-sentinel
+// idiom the language defines), as is any fmt.Errorf without an error
+// operand.
+var Errwrap = &Analyzer{
+	Name: "errwrap",
+	Doc: "flags fmt.Errorf calls that format an error operand without %w " +
+		"and ==/!= comparisons of error values in the error-discipline " +
+		"packages (transport, fleet, core, the root package); both carry " +
+		"-fix rewrites",
+	Run: runErrwrap,
+}
+
+func init() { Register(Errwrap) }
+
+// errwrapPackageSuffixes selects the enforced internal packages.
+var errwrapPackageSuffixes = []string{
+	"internal/transport",
+	"internal/fleet",
+	"internal/core",
+}
+
+// errwrapEnforced also admits the root package by package name, keeping the
+// analyzer independent of the module path.
+func errwrapEnforced(pass *Pass) bool {
+	if pathHasSuffix(pass.PkgPath, errwrapPackageSuffixes) {
+		return true
+	}
+	return pass.Pkg != nil && pass.Pkg.Name() == "swiftest"
+}
+
+func runErrwrap(pass *Pass) error {
+	if !errwrapEnforced(pass) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		importsErrors := fileImports(file, "errors")
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkErrorfWrap(pass, n)
+			case *ast.BinaryExpr:
+				if n.Op == token.EQL || n.Op == token.NEQ {
+					checkErrorCompare(pass, n, importsErrors)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkErrorfWrap flags fmt.Errorf calls whose format consumes an error
+// operand through a non-wrapping verb.
+func checkErrorfWrap(pass *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Errorf" {
+		return
+	}
+	base, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	if pkg, ok := pass.Info.Uses[base].(*types.PkgName); !ok || pkg.Imported().Path() != "fmt" {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return
+	}
+	verbs := scanVerbs(lit.Value)
+	for i, arg := range call.Args[1:] {
+		if !isErrorType(pass, arg) || i >= len(verbs) {
+			continue
+		}
+		v := verbs[i]
+		if v.letter == 'w' {
+			continue
+		}
+		msg := "fmt.Errorf formats an error operand with %%%c — the cause is flattened and errors.Is/As stop matching; wrap it with %%w or use an errdefs sentinel"
+		if v.letter == 'v' || v.letter == 's' {
+			start := lit.Pos() + token.Pos(v.offset)
+			pass.ReportWithFix(arg.Pos(), SuggestedFix{
+				Message: "replace %" + string(v.letter) + " with %w",
+				Edits:   []TextEdit{{Pos: start, End: start + token.Pos(len(v.text)), NewText: "%w"}},
+			}, msg, v.letter)
+			continue
+		}
+		pass.Reportf(arg.Pos(), msg, v.letter)
+	}
+}
+
+// checkErrorCompare flags ==/!= between two error-typed operands (nil
+// excluded on either side).
+func checkErrorCompare(pass *Pass, cmp *ast.BinaryExpr, importsErrors bool) {
+	if !isErrorType(pass, cmp.X) || !isErrorType(pass, cmp.Y) {
+		return
+	}
+	if isNil(pass, cmp.X) || isNil(pass, cmp.Y) {
+		return
+	}
+	msg := "comparing errors with %s misses every wrapped form — use errors.Is(%s, %s)"
+	x, y := describe(cmp.X), describe(cmp.Y)
+	xs, ys := renderExpr(cmp.X), renderExpr(cmp.Y)
+	if !importsErrors || xs == "" || ys == "" ||
+		strings.Contains(xs, "…") || strings.Contains(ys, "…") {
+		// No errors import to call into, or an operand too complex to
+		// re-render faithfully: diagnostic without a fix.
+		pass.Reportf(cmp.Pos(), msg, cmp.Op, x, y)
+		return
+	}
+	rewrite := "errors.Is(" + xs + ", " + ys + ")"
+	if cmp.Op == token.NEQ {
+		rewrite = "!" + rewrite
+	}
+	pass.ReportWithFix(cmp.Pos(), SuggestedFix{
+		Message: "rewrite to " + rewrite,
+		Edits:   []TextEdit{{Pos: cmp.Pos(), End: cmp.End(), NewText: rewrite}},
+	}, msg, cmp.Op, x, y)
+}
+
+// formatVerb is one %-verb of a format string: its verb letter, and the
+// byte extent of the whole verb inside the literal's source text.
+type formatVerb struct {
+	letter byte
+	offset int // into the literal source, e.g. `"x: %v"` — includes quotes
+	text   string
+}
+
+// scanVerbs extracts argument-consuming verbs from a format literal's
+// source text (quotes included, escapes untouched: %-verbs cannot be
+// spelled via escapes, so source offsets are exact). Indexed arguments
+// (%[1]v) and starred widths (%*d) abort the scan — no fix is worth
+// guessing their argument mapping.
+func scanVerbs(src string) []formatVerb {
+	var out []formatVerb
+	for i := 0; i < len(src); i++ {
+		if src[i] != '%' {
+			continue
+		}
+		j := i + 1
+		// Flags, width, precision.
+		for j < len(src) && strings.IndexByte("+-# 0123456789.", src[j]) >= 0 {
+			j++
+		}
+		if j >= len(src) {
+			break
+		}
+		switch src[j] {
+		case '%':
+			i = j
+			continue
+		case '[', '*':
+			return nil
+		}
+		out = append(out, formatVerb{letter: src[j], offset: i, text: src[i : j+1]})
+		i = j
+	}
+	return out
+}
+
+// isErrorType reports whether e's static type implements error — the error
+// interface itself, or a concrete error implementation.
+func isErrorType(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	errIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	return types.Implements(tv.Type, errIface)
+}
+
+// isNil reports whether e is the predeclared nil.
+func isNil(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	return ok && tv.IsNil()
+}
+
+// fileImports reports whether the file imports path.
+func fileImports(f *ast.File, path string) bool {
+	for _, imp := range f.Imports {
+		if strings.Trim(imp.Path.Value, `"`) == path {
+			return true
+		}
+	}
+	return false
+}

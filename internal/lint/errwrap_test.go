@@ -1,0 +1,162 @@
+package lint
+
+import "testing"
+
+func TestErrwrapFlagsUnwrappedErrorf(t *testing.T) {
+	runFixture(t, Errwrap, "example.com/internal/transport", map[string]string{
+		"client.go": `package transport
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/mobilebandwidth/swiftest/internal/errdefs"
+)
+
+func BadVerb(err error) error {
+	return fmt.Errorf("handshake: %v", err) // want "formats an error operand with %v"
+}
+
+func BadStringVerb(addr string, err error) error {
+	return fmt.Errorf("server %s: %s", addr, err) // want "formats an error operand with %s"
+}
+
+func BadServerError(se *errdefs.ServerError) error {
+	return fmt.Errorf("dial: %v", se) // want "formats an error operand with %v"
+}
+
+func GoodWrap(err error) error {
+	return fmt.Errorf("handshake: %w", err)
+}
+
+func GoodSentinel(addr string) error {
+	return &errdefs.ServerError{Addr: addr, Op: "ping", Err: errdefs.ErrProbeTimeout}
+}
+
+func GoodNoErrorOperand(rate float64) error {
+	return fmt.Errorf("negative probing rate %g", rate)
+}
+
+func BadCompare(err error) bool {
+	return err == errdefs.ErrProbeTimeout // want "comparing errors with == misses every wrapped form"
+}
+
+func BadCompareNeq(err error) bool {
+	return err != errdefs.ErrTestAborted // want "comparing errors with != misses every wrapped form"
+}
+
+func GoodNilCompare(err error) bool {
+	return err == nil
+}
+
+func GoodIs(err error) bool {
+	return errors.Is(err, errdefs.ErrProbeTimeout)
+}
+`,
+	})
+}
+
+func TestErrwrapEnforcesRootPackage(t *testing.T) {
+	runFixture(t, Errwrap, "example.com/swiftest", map[string]string{
+		"swiftest.go": `package swiftest
+
+import "fmt"
+
+func Test(err error) error {
+	return fmt.Errorf("test: %v", err) // want "formats an error operand with %v"
+}
+`,
+	})
+}
+
+func TestErrwrapIgnoresOtherPackages(t *testing.T) {
+	runFixture(t, Errwrap, "example.com/internal/plot", map[string]string{
+		"plot.go": `package plot
+
+import "fmt"
+
+// plot's errors never cross the public API; %v stays legal here.
+func Render(err error) error {
+	return fmt.Errorf("render: %v", err)
+}
+`,
+	})
+}
+
+func TestErrwrapAllowDirective(t *testing.T) {
+	runFixture(t, Errwrap, "example.com/internal/core", map[string]string{
+		"core.go": `package core
+
+import "fmt"
+
+func Flatten(err error) error {
+	return fmt.Errorf("summary only: %v", err) //lint:allow errwrap log-line summary, cause intentionally dropped
+}
+`,
+	})
+}
+
+// TestErrwrapFixes asserts the machine-applicable edits: the %v→%w verb
+// rewrite and the ==→errors.Is comparison rewrite, resolved to byte
+// offsets and applied through the fix engine.
+func TestErrwrapFixes(t *testing.T) {
+	src := `package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+var sentinel = errors.New("boom")
+
+func wrap(err error) error {
+	return fmt.Errorf("op: %v", err)
+}
+
+func compare(err error) bool {
+	return err == sentinel
+}
+
+func compareNeq(err error) bool {
+	return err != sentinel
+}
+`
+	diags := runFixtureCollect(t, Errwrap, "example.com/internal/core", map[string]string{"core.go": src})
+	if len(diags) != 3 {
+		t.Fatalf("got %d diagnostics, want 3: %v", len(diags), diags)
+	}
+	files := map[string]string{"core.go": src}
+	read := func(path string) ([]byte, error) { return []byte(files[path]), nil }
+	write := func(path string, data []byte) error { files[path] = string(data); return nil }
+	res, err := applyFixes(diags, read, write)
+	if err != nil {
+		t.Fatalf("applyFixes: %v", err)
+	}
+	if res.Applied != 3 || res.Skipped != 0 {
+		t.Errorf("applied %d skipped %d, want 3/0", res.Applied, res.Skipped)
+	}
+	want := `package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+var sentinel = errors.New("boom")
+
+func wrap(err error) error {
+	return fmt.Errorf("op: %w", err)
+}
+
+func compare(err error) bool {
+	return errors.Is(err, sentinel)
+}
+
+func compareNeq(err error) bool {
+	return !errors.Is(err, sentinel)
+}
+`
+	if files["core.go"] != want {
+		t.Errorf("fixed source:\n%s\nwant:\n%s", files["core.go"], want)
+	}
+}

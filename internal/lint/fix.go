@@ -1,0 +1,132 @@
+package lint
+
+// The fix applier: diagnostics may carry machine-applicable textual edits
+// (Diagnostic.Fix), and `swiftvet -fix` funnels them through ApplyFixes.
+// Edits are applied per file, back to front, with overlap detection — two
+// analyzers proposing conflicting rewrites of the same bytes is resolved by
+// applying the first and dropping the rest, never by splicing garbage.
+
+import (
+	"fmt"
+	"os"
+	"sort"
+)
+
+// FixResult summarises one ApplyFixes run.
+type FixResult struct {
+	// Applied counts the fixes fully applied.
+	Applied int
+	// Skipped counts the fixes dropped because an edit overlapped one
+	// already applied, or fell outside its file's bounds.
+	Skipped int
+	// Files lists the rewritten file paths, sorted.
+	Files []string
+}
+
+// ApplyFixes applies every fix attached to diags to the files on disk.
+// Returns the summary; on error some files may already have been rewritten
+// (each file is written at most once, after all its edits are spliced).
+func ApplyFixes(diags []Diagnostic) (FixResult, error) {
+	return applyFixes(diags, os.ReadFile, func(path string, data []byte) error {
+		return os.WriteFile(path, data, 0o644)
+	})
+}
+
+// applyFixes is ApplyFixes with the filesystem injected for tests.
+func applyFixes(diags []Diagnostic, read func(string) ([]byte, error), write func(string, []byte) error) (FixResult, error) {
+	var res FixResult
+
+	// Collect candidate fixes in diagnostic order (position-sorted by
+	// RunAnalyzers), so "first reported wins" decides overlap conflicts.
+	type pendingEdit struct {
+		FixEdit
+		fix int // index into fixes, for all-or-nothing accounting
+	}
+	byFile := map[string][]pendingEdit{}
+	nfixes := 0
+	for _, d := range diags {
+		if d.Fix == nil || len(d.Fix.Edits) == 0 {
+			continue
+		}
+		idx := nfixes
+		nfixes++
+		for _, e := range d.Fix.Edits {
+			byFile[e.File] = append(byFile[e.File], pendingEdit{e, idx})
+		}
+	}
+	if nfixes == 0 {
+		return res, nil
+	}
+	dropped := make([]bool, nfixes)
+
+	// First pass: within each file, detect overlaps in offset order and
+	// drop the later-reported fix wholesale (a fix is all-or-nothing, even
+	// when its other edits land in other files).
+	for _, edits := range byFile {
+		sort.SliceStable(edits, func(i, j int) bool {
+			if edits[i].Start != edits[j].Start {
+				return edits[i].Start < edits[j].Start
+			}
+			return edits[i].End < edits[j].End
+		})
+		prevEnd := -1
+		prevFix := -1
+		for _, e := range edits {
+			if dropped[e.fix] {
+				continue
+			}
+			if e.Start < prevEnd {
+				// Overlap with the previous surviving edit: drop whichever
+				// fix was reported later.
+				if e.fix >= prevFix {
+					dropped[e.fix] = true
+					continue
+				}
+				dropped[prevFix] = true
+			}
+			prevEnd, prevFix = e.End, e.fix
+		}
+	}
+
+	// Second pass: splice surviving edits back to front and write each
+	// touched file once.
+	files := make([]string, 0, len(byFile))
+	for f := range byFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, path := range files {
+		data, err := read(path)
+		if err != nil {
+			return res, fmt.Errorf("lint: applying fixes: %w", err)
+		}
+		edits := byFile[path]
+		changed := false
+		for i := len(edits) - 1; i >= 0; i-- {
+			e := edits[i]
+			if dropped[e.fix] {
+				continue
+			}
+			if e.Start < 0 || e.End > len(data) {
+				dropped[e.fix] = true
+				continue
+			}
+			data = append(data[:e.Start], append([]byte(e.NewText), data[e.End:]...)...)
+			changed = true
+		}
+		if !changed {
+			continue
+		}
+		if err := write(path, data); err != nil {
+			return res, fmt.Errorf("lint: applying fixes: %w", err)
+		}
+		res.Files = append(res.Files, path)
+	}
+	for _, d := range dropped {
+		if d {
+			res.Skipped++
+		}
+	}
+	res.Applied = nfixes - res.Skipped
+	return res, nil
+}

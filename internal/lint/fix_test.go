@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"reflect"
+	"testing"
+)
+
+// memFS builds read/write callbacks over an in-memory file map.
+func memFS(files map[string]string) (func(string) ([]byte, error), func(string, []byte) error, map[string]string) {
+	out := map[string]string{}
+	for k, v := range files {
+		out[k] = v
+	}
+	read := func(path string) ([]byte, error) {
+		s, ok := out[path]
+		if !ok {
+			return nil, fmt.Errorf("no such fixture file %q", path)
+		}
+		return []byte(s), nil
+	}
+	write := func(path string, data []byte) error {
+		out[path] = string(data)
+		return nil
+	}
+	return read, write, out
+}
+
+func fixDiag(analyzer string, edits ...FixEdit) Diagnostic {
+	return Diagnostic{
+		Analyzer: analyzer,
+		Pos:      token.Position{Filename: edits[0].File, Line: 1, Column: 1},
+		Message:  "m",
+		Fix:      &Fix{Message: "f", Edits: edits},
+	}
+}
+
+func TestApplyFixesSplicesBackToFront(t *testing.T) {
+	read, write, files := memFS(map[string]string{
+		"a.go": `fmt.Errorf("x: %v and %v", a, err)`,
+	})
+	// Two separate single-edit fixes in one file: replacing both %v with %w
+	// must not invalidate the second edit's offsets.
+	res, err := applyFixes([]Diagnostic{
+		fixDiag("errwrap", FixEdit{File: "a.go", Start: 15, End: 17, NewText: "%w"}),
+		fixDiag("errwrap", FixEdit{File: "a.go", Start: 22, End: 24, NewText: "%w"}),
+	}, read, write)
+	if err != nil {
+		t.Fatalf("applyFixes: %v", err)
+	}
+	if res.Applied != 2 || res.Skipped != 0 {
+		t.Errorf("applied %d skipped %d, want 2/0", res.Applied, res.Skipped)
+	}
+	if want := `fmt.Errorf("x: %w and %w", a, err)`; files["a.go"] != want {
+		t.Errorf("spliced %q, want %q", files["a.go"], want)
+	}
+	if !reflect.DeepEqual(res.Files, []string{"a.go"}) {
+		t.Errorf("files %v, want [a.go]", res.Files)
+	}
+}
+
+func TestApplyFixesDropsOverlaps(t *testing.T) {
+	read, write, files := memFS(map[string]string{"a.go": "0123456789"})
+	res, err := applyFixes([]Diagnostic{
+		fixDiag("one", FixEdit{File: "a.go", Start: 2, End: 6, NewText: "AA"}),
+		fixDiag("two", FixEdit{File: "a.go", Start: 4, End: 8, NewText: "BB"}),
+	}, read, write)
+	if err != nil {
+		t.Fatalf("applyFixes: %v", err)
+	}
+	if res.Applied != 1 || res.Skipped != 1 {
+		t.Errorf("applied %d skipped %d, want 1/1", res.Applied, res.Skipped)
+	}
+	if want := "01AA6789"; files["a.go"] != want {
+		t.Errorf("spliced %q, want %q (first-reported fix wins)", files["a.go"], want)
+	}
+}
+
+func TestApplyFixesMultiFile(t *testing.T) {
+	read, write, files := memFS(map[string]string{
+		"a.go": "aaaa",
+		"b.go": "bbbb",
+	})
+	res, err := applyFixes([]Diagnostic{
+		fixDiag("one",
+			FixEdit{File: "a.go", Start: 0, End: 2, NewText: "XY"},
+			FixEdit{File: "b.go", Start: 4, End: 4, NewText: "!"}),
+	}, read, write)
+	if err != nil {
+		t.Fatalf("applyFixes: %v", err)
+	}
+	if res.Applied != 1 {
+		t.Errorf("applied %d, want 1", res.Applied)
+	}
+	if files["a.go"] != "XYaa" || files["b.go"] != "bbbb!" {
+		t.Errorf("spliced a=%q b=%q", files["a.go"], files["b.go"])
+	}
+	if !reflect.DeepEqual(res.Files, []string{"a.go", "b.go"}) {
+		t.Errorf("files %v", res.Files)
+	}
+}
+
+func TestApplyFixesNoFixes(t *testing.T) {
+	read, write, _ := memFS(map[string]string{})
+	res, err := applyFixes([]Diagnostic{{Analyzer: "x", Message: "no fix attached"}}, read, write)
+	if err != nil {
+		t.Fatalf("applyFixes: %v", err)
+	}
+	if res.Applied != 0 || res.Skipped != 0 || len(res.Files) != 0 {
+		t.Errorf("unexpected result %+v for fixless diagnostics", res)
+	}
+}

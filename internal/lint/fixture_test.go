@@ -23,8 +23,10 @@ import (
 	"testing"
 )
 
-// stdlibExports lazily maps stdlib import paths to export-data files,
-// covering everything a fixture may import (plus transitive deps).
+// stdlibExports lazily maps import paths to export-data files, covering
+// everything a fixture may import (plus transitive deps). The module's own
+// internal/errdefs rides along so error-discipline fixtures can exercise
+// the real sentinels.
 var stdlibExports = struct {
 	sync.Once
 	files map[string]string
@@ -35,7 +37,9 @@ func stdlibExportLookup(path string) (io.ReadCloser, error) {
 	stdlibExports.Do(func() {
 		out, err := exec.Command("go", "list", "-deps", "-export",
 			"-f", "{{.ImportPath}}\t{{.Export}}",
-			"context", "errors", "fmt", "io", "net", "net/http", "sync", "time").Output()
+			"context", "crypto/sha256", "encoding/json", "errors", "fmt", "hash",
+			"io", "math/rand", "net", "net/http", "sort", "sync", "time",
+			"github.com/mobilebandwidth/swiftest/internal/errdefs").Output()
 		if err != nil {
 			stdlibExports.err = fmt.Errorf("go list -export for stdlib: %w", err)
 			return
@@ -66,9 +70,9 @@ type want struct {
 
 var wantPattern = regexp.MustCompile(`// want "((?:[^"\\]|\\.)*)"`)
 
-// runFixture type-checks the fixture files (name -> source), runs the
-// analyzer, and matches diagnostics against the // want comments.
-func runFixture(t *testing.T, analyzer *Analyzer, pkgPath string, files map[string]string) {
+// loadFixture parses, want-scans and type-checks the fixture files
+// (name -> source), returning the analyzable package and the expectations.
+func loadFixture(t *testing.T, pkgPath string, files map[string]string) (*Package, []*want) {
 	t.Helper()
 	fset := token.NewFileSet()
 	var (
@@ -109,8 +113,26 @@ func runFixture(t *testing.T, analyzer *Analyzer, pkgPath string, files map[stri
 	if err != nil {
 		t.Fatalf("type-checking fixture: %v", err)
 	}
+	return &Package{PkgPath: pkgPath, Fset: fset, Files: parsed, Types: tpkg, Info: info}, wants
+}
 
-	pkg := &Package{PkgPath: pkgPath, Fset: fset, Files: parsed, Types: tpkg, Info: info}
+// runFixtureCollect runs the analyzer over the fixture and returns the raw
+// diagnostics — for fix-engine tests that need the resolved edits.
+func runFixtureCollect(t *testing.T, analyzer *Analyzer, pkgPath string, files map[string]string) []Diagnostic {
+	t.Helper()
+	pkg, _ := loadFixture(t, pkgPath, files)
+	diags, err := pkg.RunAnalyzers([]*Analyzer{analyzer})
+	if err != nil {
+		t.Fatalf("running %s: %v", analyzer.Name, err)
+	}
+	return diags
+}
+
+// runFixture type-checks the fixture files (name -> source), runs the
+// analyzer, and matches diagnostics against the // want comments.
+func runFixture(t *testing.T, analyzer *Analyzer, pkgPath string, files map[string]string) {
+	t.Helper()
+	pkg, wants := loadFixture(t, pkgPath, files)
 	diags, err := pkg.RunAnalyzers([]*Analyzer{analyzer})
 	if err != nil {
 		t.Fatalf("running %s: %v", analyzer.Name, err)

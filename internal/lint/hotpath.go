@@ -1,0 +1,289 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Hotpath gates the proven-zero-allocation paths mechanically. The obs
+// handles, dataset.Next and fleet.Dispatch earned their 0 allocs/op with
+// AllocsPerRun assertions and benchmarks; this analyzer keeps casual edits
+// from spending that budget between benchmark runs. A function opts in by
+// carrying the directive in its doc comment:
+//
+//	// swiftvet:hotpath
+//
+// and from then on its body may not contain the constructs that reliably
+// heap-allocate:
+//
+//   - function literals capturing enclosing variables (a closure context
+//     allocates; capture-free literals are static and stay legal);
+//   - concrete values passed to interface-typed parameters (the conversion
+//     boxes and escapes);
+//   - fmt.* calls (interface boxing plus formatting state);
+//   - string concatenation inside loops (quadratic re-allocation);
+//   - append inside a loop to a slice declared in the same function without
+//     make-presizing (growth re-allocates; make it with a capacity).
+//
+// The check is per-function and syntactic: callees are not followed (they
+// carry their own annotation if they are hot), and it is a complement to —
+// not a replacement for — the AllocsPerRun assertions that prove the
+// end-to-end property. Cold error paths inside an annotated function use
+// //lint:allow hotpath <reason> when a flagged construct is genuinely
+// unreachable in the steady state.
+var Hotpath = &Analyzer{
+	Name: "hotpath",
+	Doc: "flags heap-allocating constructs (capturing closures, interface " +
+		"conversions at call sites, fmt.*, string concat in loops, " +
+		"un-presized append growth) in functions annotated // swiftvet:hotpath",
+	Run: runHotpath,
+}
+
+func init() { Register(Hotpath) }
+
+// hotpathDirective marks a function as allocation-gated.
+const hotpathDirective = "swiftvet:hotpath"
+
+func runHotpath(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !isHotpathAnnotated(fn) {
+				continue
+			}
+			checkHotpath(pass, fn)
+		}
+	}
+	return nil
+}
+
+// isHotpathAnnotated reports whether the function's doc comment carries the
+// // swiftvet:hotpath directive (on its own line, like go:build).
+func isHotpathAnnotated(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if text == hotpathDirective || strings.HasPrefix(text, hotpathDirective+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+func checkHotpath(pass *Pass, fn *ast.FuncDecl) {
+	// Loop extents, for the in-loop rules.
+	type span struct{ lo, hi int }
+	var loops []span
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			loops = append(loops, span{int(n.Pos()), int(n.End())})
+		}
+		return true
+	})
+	inLoop := func(n ast.Node) bool {
+		p := int(n.Pos())
+		for _, s := range loops {
+			if p >= s.lo && p < s.hi {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Slices declared in this function with make-presizing (any make form:
+	// growth beyond a chosen capacity is a deliberate, visible decision).
+	presized := map[types.Object]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := types.Object(pass.Info.Defs[id])
+				if obj == nil {
+					obj = pass.Info.Uses[id]
+				}
+				if obj != nil && isMakeCall(pass, n.Rhs[i]) {
+					presized[obj] = true
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if i < len(n.Values) && isMakeCall(pass, n.Values[i]) {
+					if obj := pass.Info.Defs[name]; obj != nil {
+						presized[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if capture := findCapture(pass, fn, n); capture != "" {
+				pass.Reportf(n.Pos(),
+					"hotpath %s: function literal captures %s — the closure context heap-allocates; hoist the state or pass it explicitly",
+					fn.Name.Name, capture)
+				return false // don't double-report constructs inside the literal
+			}
+		case *ast.CallExpr:
+			checkHotpathCall(pass, fn, n)
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && inLoop(n) {
+				if tv, ok := pass.Info.Types[n.X]; ok {
+					if basic, ok := tv.Type.Underlying().(*types.Basic); ok && basic.Info()&types.IsString != 0 {
+						pass.Reportf(n.Pos(),
+							"hotpath %s: string concatenation inside a loop re-allocates every iteration — use a presized []byte or strings.Builder outside the hot path",
+							fn.Name.Name)
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// Un-presized append growth in loops.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !inLoop(call) || len(call.Args) == 0 {
+			return true
+		}
+		fun, ok := call.Fun.(*ast.Ident)
+		if !ok || fun.Name != "append" {
+			return true
+		}
+		if _, isBuiltin := pass.Info.Uses[fun].(*types.Builtin); !isBuiltin {
+			return true
+		}
+		root, _ := ast.Unparen(call.Args[0]).(*ast.Ident)
+		if root == nil {
+			return true // fields/params: ownership unknown, benchmarks decide
+		}
+		obj := pass.Info.Uses[root]
+		if obj == nil || presized[obj] {
+			return true
+		}
+		if _, isVar := obj.(*types.Var); !isVar || obj.Parent() == nil || obj.Parent() == pass.Pkg.Scope() {
+			return true // package-level or non-variable: out of scope
+		}
+		if int(obj.Pos()) < int(fn.Pos()) || int(obj.Pos()) > int(fn.End()) {
+			return true // declared outside this function
+		}
+		pass.Reportf(call.Pos(),
+			"hotpath %s: append to %s grows an un-presized slice inside a loop — declare it with make(…, 0, n)",
+			fn.Name.Name, root.Name)
+		return true
+	})
+}
+
+// checkHotpathCall flags fmt.* calls and concrete-to-interface argument
+// conversions.
+func checkHotpathCall(pass *Pass, fn *ast.FuncDecl, call *ast.CallExpr) {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if base, ok := sel.X.(*ast.Ident); ok {
+			if pkg, ok := pass.Info.Uses[base].(*types.PkgName); ok && pkg.Imported().Path() == "fmt" {
+				pass.Reportf(call.Pos(),
+					"hotpath %s: fmt.%s boxes its operands and allocates formatting state — format off the hot path, or annotate //lint:allow hotpath <why this is cold>",
+					fn.Name.Name, sel.Sel.Name)
+				return
+			}
+		}
+	}
+	tv, ok := pass.Info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok {
+		return // conversion or builtin
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if params.Len() == 0 {
+				continue
+			}
+			slice, ok := params.At(params.Len() - 1).Type().(*types.Slice)
+			if !ok {
+				continue
+			}
+			pt = slice.Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		atv, ok := pass.Info.Types[arg]
+		if !ok || atv.Type == nil {
+			continue
+		}
+		if atv.IsNil() {
+			continue
+		}
+		if _, already := atv.Type.Underlying().(*types.Interface); already {
+			continue
+		}
+		pass.Reportf(arg.Pos(),
+			"hotpath %s: passing concrete %s to interface parameter boxes and escapes — take the concrete type or hoist the conversion",
+			fn.Name.Name, atv.Type.String())
+	}
+}
+
+// isMakeCall reports whether e is a call to the builtin make.
+func isMakeCall(pass *Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "make" {
+		return false
+	}
+	_, isBuiltin := pass.Info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// findCapture names the first enclosing-function variable a func literal
+// captures, or "" when the literal is capture-free (and therefore static).
+func findCapture(pass *Pass, fn *ast.FuncDecl, lit *ast.FuncLit) string {
+	captured := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := pass.Info.Uses[id].(*types.Var)
+		if !ok {
+			return true
+		}
+		pos := int(obj.Pos())
+		// Captured = declared inside the enclosing FuncDecl (receiver,
+		// params, locals) but outside the literal itself.
+		if pos >= int(fn.Pos()) && pos <= int(fn.End()) &&
+			!(pos >= int(lit.Pos()) && pos <= int(lit.End())) {
+			captured = id.Name
+		}
+		return true
+	})
+	return captured
+}

@@ -1,0 +1,101 @@
+package lint
+
+import "testing"
+
+func TestHotpathFlagsAllocatingConstructs(t *testing.T) {
+	runFixture(t, Hotpath, "example.com/internal/obs", map[string]string{
+		"hot.go": `package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// swiftvet:hotpath
+func BadFmt(v float64) {
+	fmt.Println(v) // want "hotpath BadFmt: fmt.Println boxes its operands"
+}
+
+// Observe is modeled on Histogram.Observe.
+//
+// swiftvet:hotpath
+func BadClosure(bounds []float64, v float64) int {
+	f := func() float64 { return v } // want "hotpath BadClosure: function literal captures v"
+	return sort.SearchFloat64s(bounds, f())
+}
+
+// swiftvet:hotpath
+func GoodStaticLiteral(x int) int {
+	double := func(v int) int { return v * 2 } // capture-free: static, no alloc
+	return double(x)
+}
+
+// swiftvet:hotpath
+func BadIfaceArg(w io.Writer, buf *[64]byte) {
+	sink(buf) // want "hotpath BadIfaceArg: passing concrete \*\[64\]byte to interface parameter"
+}
+
+func sink(v any) {}
+
+// swiftvet:hotpath
+func GoodIfaceThrough(w io.Writer, b []byte) {
+	w.Write(b) // []byte to []byte param: no boxing
+}
+
+// swiftvet:hotpath
+func BadConcat(parts []string) string {
+	out := ""
+	for _, p := range parts {
+		out = out + p // want "hotpath BadConcat: string concatenation inside a loop"
+	}
+	return out
+}
+
+// swiftvet:hotpath
+func BadAppend(n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, i) // want "hotpath BadAppend: append to out grows an un-presized slice"
+	}
+	return out
+}
+
+// swiftvet:hotpath
+func GoodPresized(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// swiftvet:hotpath
+func GoodSingleAppend(xs []int, x int) []int {
+	return append(xs, x) // not in a loop: one growth, caller's amortisation
+}
+
+// Unannotated functions allocate freely.
+func ColdPath(v float64) string {
+	return fmt.Sprintf("%g", v)
+}
+`,
+	})
+}
+
+func TestHotpathAllowDirective(t *testing.T) {
+	runFixture(t, Hotpath, "example.com/internal/fleet", map[string]string{
+		"dispatch.go": `package fleet
+
+import "fmt"
+
+// swiftvet:hotpath
+func Dispatch(live int) error {
+	if live == 0 {
+		return fmt.Errorf("no live servers: %d", live) //lint:allow hotpath cold rejection path
+	}
+	return nil
+}
+`,
+	})
+}

@@ -70,11 +70,45 @@ func All() []*Analyzer {
 }
 
 // A Diagnostic is one finding: a position, the analyzer that produced it,
-// and a human-readable message.
+// a human-readable message, and optionally a machine-applicable fix.
 type Diagnostic struct {
 	Analyzer string
 	Pos      token.Position
 	Message  string
+	// Fix, when non-nil, is a textual edit that resolves the diagnostic.
+	// `swiftvet -fix` applies it; `swiftvet -json` serialises it for CI.
+	Fix *Fix
+}
+
+// A Fix is one machine-applicable resolution: a short description and the
+// textual edits that implement it. Edits within one fix never overlap.
+type Fix struct {
+	// Message describes the fix ("replace %v with %w"), shown when applied.
+	Message string `json:"message"`
+	// Edits are the resolved byte-offset replacements.
+	Edits []FixEdit `json:"edits"`
+}
+
+// A FixEdit replaces the bytes [Start, End) of File with NewText. Offsets
+// are byte offsets into the file as parsed (insertions have Start == End).
+type FixEdit struct {
+	File    string `json:"file"`
+	Start   int    `json:"start"`
+	End     int    `json:"end"`
+	NewText string `json:"new_text"`
+}
+
+// A TextEdit is the analyzer-side form of an edit, in token.Pos space; the
+// Pass resolves it to a FixEdit when the diagnostic is reported.
+type TextEdit struct {
+	Pos, End token.Pos
+	NewText  string
+}
+
+// A SuggestedFix bundles the analyzer-side edits of one fix.
+type SuggestedFix struct {
+	Message string
+	Edits   []TextEdit
 }
 
 func (d Diagnostic) String() string {
@@ -97,6 +131,33 @@ type Pass struct {
 // Reportf records a diagnostic at pos unless an allow directive suppresses
 // it.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.reportWith(pos, nil, format, args...)
+}
+
+// ReportWithFix records a diagnostic carrying a machine-applicable fix. The
+// fix's token.Pos edits are resolved to file/byte-offset form here, so
+// consumers (the -fix applier, the -json emitter) never need the FileSet.
+func (p *Pass) ReportWithFix(pos token.Pos, fix SuggestedFix, format string, args ...any) {
+	resolved := &Fix{Message: fix.Message}
+	for _, e := range fix.Edits {
+		start, end := p.Fset.Position(e.Pos), p.Fset.Position(e.End)
+		if start.Filename == "" || start.Filename != end.Filename || start.Offset > end.Offset {
+			// A malformed edit is an analyzer bug; degrade to a fixless
+			// diagnostic rather than corrupting a source file.
+			resolved = nil
+			break
+		}
+		resolved.Edits = append(resolved.Edits, FixEdit{
+			File:    start.Filename,
+			Start:   start.Offset,
+			End:     end.Offset,
+			NewText: e.NewText,
+		})
+	}
+	p.reportWith(pos, resolved, format, args...)
+}
+
+func (p *Pass) reportWith(pos token.Pos, fix *Fix, format string, args ...any) {
 	position := p.Fset.Position(pos)
 	if p.directives != nil && p.directives.allows(p.Analyzer.Name, position) {
 		return
@@ -105,6 +166,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Analyzer: p.Analyzer.Name,
 		Pos:      position,
 		Message:  fmt.Sprintf(format, args...),
+		Fix:      fix,
 	})
 }
 

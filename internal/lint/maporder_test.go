@@ -1,0 +1,112 @@
+package lint
+
+import "testing"
+
+// TestMaporderFlagsDigestWrites models the loadgen.AssignmentDigest bug
+// class: hashing per-assignment state while ranging over a map would change
+// the SHA-256 on every run.
+func TestMaporderFlagsDigestWrites(t *testing.T) {
+	runFixture(t, Maporder, "example.com/internal/loadgen", map[string]string{
+		"digest.go": `package loadgen
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+type assignment struct{ Server int }
+
+// Bad: the canonical AssignmentDigest nondeterminism — map order feeds the
+// hasher directly.
+func BadDigest(byClient map[uint64]assignment) string {
+	h := sha256.New()
+	for key, a := range byClient {
+		fmt.Fprintf(h, "%d:%d,", key, a.Server) // laundered through fmt: package call, not flagged
+		h.Write([]byte{byte(a.Server)})         // want "h.Write inside a range over a map"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+func BadEncode(w io.Writer, m map[string]int) {
+	enc := json.NewEncoder(w)
+	for k, v := range m {
+		enc.Encode(map[string]int{k: v}) // want "enc.Encode inside a range over a map"
+	}
+}
+
+func BadCollect(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "append to keys inside a range over a map"
+	}
+	return keys
+}
+
+// Good: collect-then-sort launders the order before anything consumes it.
+func GoodDigest(byClient map[uint64]assignment) string {
+	keys := make([]uint64, 0, len(byClient))
+	for k := range byClient {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	h := sha256.New()
+	for _, k := range keys {
+		h.Write([]byte{byte(byClient[k].Server)})
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// Good: indexed writes are order-independent.
+func GoodInvert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// Good: counters and sums commute.
+func GoodSum(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+`,
+	})
+}
+
+func TestMaporderIgnoresOtherPackages(t *testing.T) {
+	runFixture(t, Maporder, "example.com/internal/plot", map[string]string{
+		"plot.go": `package plot
+
+// plot renders human output; ordering jitter is cosmetic, not a digest bug.
+func Legend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+`,
+	})
+}
+
+func TestMaporderAllowDirective(t *testing.T) {
+	runFixture(t, Maporder, "example.com/internal/fleet", map[string]string{
+		"fleet.go": `package fleet
+
+func DrainAll(sessions map[int][]int) []int {
+	var ids []int
+	for id := range sessions {
+		ids = append(ids, id) //lint:allow maporder callers treat the result as a set
+	}
+	return ids
+}
+`,
+	})
+}

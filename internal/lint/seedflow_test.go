@@ -1,0 +1,76 @@
+package lint
+
+import "testing"
+
+func TestSeedflowFlagsGlobalSourceAndBadSeeds(t *testing.T) {
+	runFixture(t, Seedflow, "example.com/internal/dataset", map[string]string{
+		"gen.go": `package dataset
+
+import (
+	"math/rand"
+	"time"
+)
+
+type Config struct{ Seed int64 }
+
+func Bad(n int) int {
+	return rand.Intn(n) // want "global math/rand source call rand.Intn"
+}
+
+func BadShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "global math/rand source call rand.Shuffle"
+}
+
+func BadTimeSeed() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want "time-derived rand seed"
+}
+
+func BadHardcoded() *rand.Rand {
+	return rand.New(rand.NewSource(42)) // want "hard-coded rand seed"
+}
+
+func GoodParam(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func GoodField(cfg Config) *rand.Rand {
+	return rand.New(rand.NewSource(cfg.Seed ^ 0x5bf0f5249ab71d6d))
+}
+
+func GoodDerived(cfg Config, shard int) *rand.Rand {
+	return rand.New(rand.NewSource(cfg.Seed + int64(shard)))
+}
+`,
+	})
+}
+
+func TestSeedflowIgnoresNonDeterministicPackages(t *testing.T) {
+	runFixture(t, Seedflow, "example.com/internal/emu", map[string]string{
+		"emu.go": `package emu
+
+import (
+	"math/rand"
+	"time"
+)
+
+// emu is real-time and outside the deterministic set: nothing here fires.
+func Jitter() float64 {
+	_ = rand.New(rand.NewSource(time.Now().UnixNano()))
+	return rand.Float64()
+}
+`,
+	})
+}
+
+func TestSeedflowAllowDirective(t *testing.T) {
+	runFixture(t, Seedflow, "example.com/internal/linksim", map[string]string{
+		"link.go": `package linksim
+
+import "math/rand"
+
+func EntropyForLiveIDs() int {
+	return rand.Int() //lint:allow seedflow live test IDs want real entropy
+}
+`,
+	})
+}

@@ -37,14 +37,7 @@ var vtCorePackageSuffixes = []string{
 }
 
 func runVTCore(pass *Pass) error {
-	pinned := false
-	for _, suffix := range vtCorePackageSuffixes {
-		if strings.HasSuffix(pass.PkgPath, suffix) {
-			pinned = true
-			break
-		}
-	}
-	if !pinned {
+	if !pathHasSuffix(pass.PkgPath, vtCorePackageSuffixes) {
 		return nil
 	}
 	for _, file := range pass.Files {

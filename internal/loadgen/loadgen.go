@@ -37,6 +37,7 @@ import (
 	"github.com/mobilebandwidth/swiftest/internal/fleet"
 	"github.com/mobilebandwidth/swiftest/internal/linksim"
 	"github.com/mobilebandwidth/swiftest/internal/obs"
+	"github.com/mobilebandwidth/swiftest/internal/stats"
 )
 
 // Step is the generator's scheduling quantum: arrivals, heartbeats,
@@ -423,12 +424,5 @@ func finishReport(rep *Report, digest interface{ Sum([]byte) []byte }, infos []f
 // mix is splitmix64 over (seed, v) — the package's only randomness outside
 // the seeded generators.
 func mix(seed int64, v uint64) uint64 {
-	x := uint64(seed) ^ v*0x9e3779b97f4a7c15
-	x += 0x9e3779b97f4a7c15
-	x ^= x >> 30
-	x *= 0xbf58476d1ce4e5b9
-	x ^= x >> 27
-	x *= 0x94d049bb133111eb
-	x ^= x >> 31
-	return x
+	return stats.SplitMix64(uint64(seed) ^ v*stats.SplitMix64Gamma)
 }

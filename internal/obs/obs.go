@@ -145,6 +145,8 @@ type Counter struct {
 }
 
 // Inc adds one.
+//
+// swiftvet:hotpath
 func (c *Counter) Inc() {
 	if c == nil {
 		return
@@ -153,6 +155,8 @@ func (c *Counter) Inc() {
 }
 
 // Add adds n.
+//
+// swiftvet:hotpath
 func (c *Counter) Add(n uint64) {
 	if c == nil || n == 0 {
 		return
@@ -182,6 +186,8 @@ type Gauge struct {
 }
 
 // Set replaces the gauge value.
+//
+// swiftvet:hotpath
 func (g *Gauge) Set(v float64) {
 	if g == nil {
 		return
@@ -190,6 +196,8 @@ func (g *Gauge) Set(v float64) {
 }
 
 // Add shifts the gauge by delta (negative deltas decrease it).
+//
+// swiftvet:hotpath
 func (g *Gauge) Add(delta float64) {
 	if g == nil {
 		return
@@ -252,6 +260,8 @@ func newHistogram(name, help string, bounds []float64) *Histogram {
 
 // Observe records one value. NaN observations are dropped (they carry no
 // bucket and would poison the sum).
+//
+// swiftvet:hotpath
 func (h *Histogram) Observe(v float64) {
 	if h == nil || math.IsNaN(v) {
 		return

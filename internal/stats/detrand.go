@@ -1,0 +1,33 @@
+package stats
+
+// Deterministic hashing primitives shared by the seeded-randomness
+// substrate. Four packages (dataset, faults, fleet, loadgen) independently
+// grew the same splitmix64 finalizer for "pure function of (seed, coords)"
+// draws; that drift is exactly what the seedflow analyzer polices, so the
+// canonical copy lives here and the callers keep only their domain-specific
+// seeding.
+
+// SplitMix64Gamma is the splitmix64 increment (the golden-ratio constant),
+// exported because callers fold it into their pre-mix seeding
+// (`seed ^ key*SplitMix64Gamma`) before finalizing.
+const SplitMix64Gamma = 0x9e3779b97f4a7c15
+
+// SplitMix64 is the standard splitmix64 finalizer-style avalanche: a
+// bijective mix whose output is a pure function of its input, used wherever
+// the repository needs deterministic per-entity randomness that is
+// independent of draw order (fault decisions, dispatch tie-breaks, per-shard
+// seeds, per-entity calibration factors). Equal inputs give equal outputs on
+// every platform and every rerun — the property the golden SHA-256 digests
+// in dataset and loadgen pin down.
+func SplitMix64(x uint64) uint64 {
+	x += SplitMix64Gamma
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Uniform01 maps a SplitMix64 output to a uniform [0,1) float64 using the
+// top 53 bits — the shared recipe for hash-derived variates.
+func Uniform01(x uint64) float64 {
+	return float64(x>>11) / (1 << 53)
+}

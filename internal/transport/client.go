@@ -51,7 +51,7 @@ func PingServerContext(ctx context.Context, addr string, count int, timeout time
 				return best, nil // partial measurement still useful
 			}
 			return 0, &errdefs.ServerError{Addr: addr, Op: "ping",
-				Err: fmt.Errorf("%w: %v", errdefs.ErrTestAborted, err)}
+				Err: fmt.Errorf("%w: %w", errdefs.ErrTestAborted, err)}
 		}
 		seq := uint32(i + 1)
 		ping := wire.Ping{Seq: seq, SentNS: uint64(time.Now().UnixNano())}
@@ -150,7 +150,7 @@ func (p *ServerPool) RankByLatencyContext(ctx context.Context, pingCount int, ti
 	p.Servers = reachable
 	if len(p.Servers) == 0 {
 		if err := ctx.Err(); err != nil {
-			return fmt.Errorf("transport: ranking servers: %w: %v", errdefs.ErrTestAborted, err)
+			return fmt.Errorf("transport: ranking servers: %w: %w", errdefs.ErrTestAborted, err)
 		}
 		return fmt.Errorf("transport: %w (tried %d)", errdefs.ErrNoReachableServer, candidates)
 	}
@@ -408,7 +408,7 @@ func (p *UDPProbe) openSessionLocked(server PoolServer) (*clientSession, error) 
 		if err := p.ctx.Err(); err != nil {
 			conn.Close()
 			return nil, &errdefs.ServerError{Addr: server.Addr, Op: "handshake",
-				Err: fmt.Errorf("%w: %v", errdefs.ErrTestAborted, err)}
+				Err: fmt.Errorf("%w: %w", errdefs.ErrTestAborted, err)}
 		}
 		if attempt > 0 {
 			p.retryCounter.Inc()

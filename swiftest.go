@@ -303,7 +303,7 @@ func TestContext(ctx context.Context, opts TestOptions) (Result, error) {
 		ctx = context.Background()
 	}
 	if err := ctx.Err(); err != nil {
-		return Result{}, fmt.Errorf("swiftest: %w before start: %v", ErrTestAborted, err)
+		return Result{}, fmt.Errorf("swiftest: %w before start: %w", ErrTestAborted, err)
 	}
 	if len(opts.Servers) == 0 {
 		return Result{}, fmt.Errorf("swiftest: %w", ErrNoServers)
