@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	swiftest serve  [-addr :7007] [-uplink 100] [-metrics :9090] [-faults plan.json] [-fault-server 0] [-v]
+//	swiftest serve  [-addr :7007] [-uplink 100] [-wire auto|fallback] [-metrics :9090] [-faults plan.json] [-fault-server 0] [-v]
 //	swiftest test   -servers host1:7007[@uplink],host2:7007[@uplink] [-tech 5G] [-max 5s] [-timeout 30s] [-json] [-trace run.jsonl]
 //	swiftest ping   -servers host1:7007,host2:7007 [-count 3]
 //
@@ -99,12 +99,21 @@ func serve(args []string) error {
 	faultServer := fs.Int("fault-server", 0, "this server's index in the fault plan's pool order")
 	register := fs.String("register", "", "fleet dispatch URL to register with and heartbeat (empty disables)")
 	domain := fs.String("domain", "", "IXP domain to report when registering with a dispatcher")
+	wireMode := fs.String("wire", "auto", "wire send path: auto (batched syscalls + segmentation offload where available) or fallback (one datagram per syscall)")
 	verbose := fs.Bool("v", false, "log test activity")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	opts := swiftest.ServerOptions{UplinkMbps: *uplink, FaultServer: *faultServer}
+	switch *wireMode {
+	case "auto":
+		opts.Wire = swiftest.WireAuto
+	case "fallback":
+		opts.Wire = swiftest.WireFallback
+	default:
+		return fmt.Errorf("unknown -wire mode %q (want auto or fallback)", *wireMode)
+	}
 	if *faultsPath != "" {
 		plan, err := swiftest.LoadFaultPlan(*faultsPath)
 		if err != nil {

@@ -133,6 +133,66 @@ func Horizon(at time.Duration) time.Duration {
 	})
 }
 
+// TestWalltimePacingWheelPattern pins the pacing-wheel clock discipline: the
+// wheel loop performs the pacing path's single wall-clock read — one
+// time.Now per tick, explicitly allowed — and threads that instant through
+// advance, where everything is pure arithmetic on the parameter. A second
+// read inside the per-session budget path is exactly the bug the coalesced
+// wheel removed (each per-session pacer used to read its own clock), so the
+// analyzer must keep flagging it.
+func TestWalltimePacingWheelPattern(t *testing.T) {
+	runFixture(t, Walltime, "example.com/wheel", map[string]string{
+		"wheel.go": `package wheel
+
+import "time"
+
+type session struct {
+	lastTick time.Time
+	carry    float64
+}
+
+type wheel struct {
+	started  time.Time
+	sessions []*session
+}
+
+// loop owns the pacing path's only clock read: one instant per tick, shared
+// by every session's budget, fault window and datagram timestamp.
+func (w *wheel) loop(stop chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		w.advance(time.Now()) //lint:allow walltime the wheel's single per-tick clock read
+	}
+}
+
+// advance never reads a clock: every instant derives from the tick's now.
+func (w *wheel) advance(now time.Time) {
+	at := now.Sub(w.started)
+	_ = at
+	for _, s := range w.sessions {
+		if s.lastTick.IsZero() {
+			s.lastTick = now
+			continue
+		}
+		elapsed := now.Sub(s.lastTick).Seconds()
+		s.lastTick = now
+		s.carry += elapsed
+	}
+}
+
+// budget shows the regression the wheel refactor removed: a per-session
+// clock read re-introduces skew between sessions inside one tick.
+func (w *wheel) budget(s *session) float64 {
+	return time.Now().Sub(s.lastTick).Seconds() // want "wall-clock time.Now"
+}
+`,
+	})
+}
+
 // TestDirectiveValidation: allows without reasons, with unknown analyzers,
 // or with a mangled verb are diagnostics, not silent no-ops.
 func TestDirectiveValidation(t *testing.T) {

@@ -1,0 +1,33 @@
+package batchio
+
+import (
+	"net"
+	"net/netip"
+)
+
+// fillFromAddrPort rewrites dst in place from ap without allocating: the IP
+// backing array is reused when it has capacity (the receive loops hand in
+// addrs with 16-byte backing), so steady-state receive stays alloc-free.
+func fillFromAddrPort(dst *net.UDPAddr, ap netip.AddrPort) {
+	a := ap.Addr()
+	switch {
+	case a.Is4():
+		b := a.As4()
+		if cap(dst.IP) >= 4 {
+			dst.IP = dst.IP[:4]
+			copy(dst.IP, b[:])
+		} else {
+			dst.IP = append(dst.IP[:0], b[:]...)
+		}
+	default:
+		b := a.As16()
+		if cap(dst.IP) >= 16 {
+			dst.IP = dst.IP[:16]
+			copy(dst.IP, b[:])
+		} else {
+			dst.IP = append(dst.IP[:0], b[:]...)
+		}
+	}
+	dst.Port = int(ap.Port())
+	dst.Zone = a.Zone()
+}

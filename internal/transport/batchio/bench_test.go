@@ -1,0 +1,64 @@
+package batchio
+
+import (
+	"net"
+	"testing"
+)
+
+// benchSender builds an unconnected socket sending 1200-byte datagrams at a
+// loopback sink port with no reader — the kernel drops them after the full
+// send path, the standard harness for measuring wire-send cost.
+func benchSender(b *testing.B, mode Mode, batch, segs int) ([]Message, Conn, int) {
+	b.Helper()
+	sink, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { sink.Close() })
+	s, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { s.Close() })
+	_ = s.SetWriteBuffer(8 << 20)
+	if segs > 1 {
+		if err := SetSegmentSize(s, 1200); err != nil {
+			b.Skipf("no UDP segmentation offload: %v", err)
+		}
+	}
+	dst := sink.LocalAddr().(*net.UDPAddr)
+	msgs := make([]Message, batch)
+	payload := make([]byte, 1200*segs)
+	for i := range msgs {
+		msgs[i].Buf = payload
+		msgs[i].Addr = dst
+	}
+	return msgs, New(s, mode), batch * segs
+}
+
+// BenchmarkWireSend measures datagrams/sec through each syscall strategy;
+// per-op cost is per datagram, not per batch. gso-50x8 is the server's
+// steady-state shape: 8 sessions' super-buffers of 50 segments in one
+// sendmmsg.
+func BenchmarkWireSend(b *testing.B) {
+	for _, bc := range []struct {
+		name        string
+		mode        Mode
+		batch, segs int
+	}{
+		{"gso-50x8", ModeAuto, 8, 50},
+		{"batched-64", ModeAuto, 64, 1},
+		{"fallback-1", ModeFallback, 1, 1},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			msgs, conn, pkts := benchSender(b, bc.mode, bc.batch, bc.segs)
+			b.SetBytes(1200)
+			b.ResetTimer()
+			for n := 0; n < b.N; n += pkts {
+				if _, err := conn.SendBatch(msgs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,53 @@
+//go:build linux && (amd64 || arm64)
+
+package batchio
+
+import (
+	"net"
+	"os"
+	"syscall"
+)
+
+// udpSegment is the UDP_SEGMENT socket option (linux/udp.h); it postdates
+// the stdlib syscall table freeze.
+const udpSegment = 103
+
+// SetSegmentSize enables kernel UDP segmentation offload on c: every send
+// larger than size is split by the kernel into size-byte wire datagrams
+// (plus a short tail), so one syscall — and one traversal of most of the
+// stack — carries dozens of packets. Sends at or below size are unaffected,
+// which keeps sub-segment control messages on the same socket intact.
+//
+// Callers must treat an error as "no offload" and fall back to one datagram
+// per message; pre-4.18 kernels reject the option.
+func SetSegmentSize(c *net.UDPConn, size int) error {
+	rc, err := c.SyscallConn()
+	if err != nil {
+		return err
+	}
+	var serr error
+	cerr := rc.Control(func(fd uintptr) {
+		serr = syscall.SetsockoptInt(int(fd), syscall.IPPROTO_UDP, udpSegment, size)
+	})
+	if cerr != nil {
+		return cerr
+	}
+	if serr != nil {
+		return os.NewSyscallError("setsockopt(UDP_SEGMENT)", serr)
+	}
+	return nil
+}
+
+// MaxSegments is the most size-byte segments one send may carry: the UDP
+// payload ceiling (65507 bytes) divided by the segment size.
+func MaxSegments(size int) int {
+	const maxUDPPayload = 65507
+	if size <= 0 {
+		return 1
+	}
+	n := maxUDPPayload / size
+	if n < 1 {
+		return 1
+	}
+	return n
+}

@@ -1,0 +1,15 @@
+//go:build !(linux && (amd64 || arm64))
+
+package batchio
+
+import "net"
+
+// BatchSize matches the Linux fast path so callers size batches identically
+// everywhere; the fallback simply spends one syscall per message.
+const BatchSize = 64
+
+// newPlatform: no vectored syscalls on this platform — one message per
+// syscall, same wire bytes.
+func newPlatform(c *net.UDPConn) Conn {
+	return &oneConn{c: c}
+}

@@ -1,0 +1,5 @@
+package batchio
+
+// sendmmsg postdates the stdlib syscall table freeze; the number is part of
+// the kernel ABI and stable forever.
+const sysSENDMMSG = 269

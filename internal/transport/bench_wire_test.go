@@ -1,0 +1,219 @@
+// Wire hot-path benchmarks and the BENCH_wire.json emitter: how fast the
+// pacing wheel pushes probe datagrams through each syscall path, and what a
+// tick costs per session. The emitter is gated on BENCH_WIRE_OUT so regular
+// `go test ./...` runs never pay for it:
+//
+//	BENCH_WIRE_OUT=BENCH_wire.json go test -run TestEmitBenchWire ./internal/transport
+//
+// The headline figures are the batched-vs-fallback packets/sec ratio (the
+// refactor's ≥3× target) and allocations per packet at steady state (0).
+package transport
+
+import (
+	"encoding/json"
+	"net"
+	"os"
+	"runtime"
+	"testing"
+)
+
+// wheelBench is one scripted pacing-wheel instance: a wheel-less server, a
+// sink socket, and n sessions all pacing at rateKbps. tick() advances the
+// scripted clock exactly one paceInterval.
+type wheelBench struct {
+	srv  *Server
+	sink *net.UDPConn
+	tick func()
+}
+
+func newWheelBench(tb testing.TB, mode WireMode, sessions int, rateKbps uint32) *wheelBench {
+	tb.Helper()
+	sink, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	srv, err := newServer("127.0.0.1:0",
+		ServerConfig{UplinkMbps: 100 * float64(sessions), Wire: mode, startedAt: identityBase}, false)
+	if err != nil {
+		sink.Close()
+		tb.Fatal(err)
+	}
+	_ = srv.conn.SetWriteBuffer(8 << 20)
+	peer := sink.LocalAddr().(*net.UDPAddr)
+	for i := 0; i < sessions; i++ {
+		addWheelSession(srv, uint64(i+1), peer, rateKbps)
+	}
+	now := identityBase
+	w := &wheelBench{srv: srv, sink: sink}
+	w.tick = func() {
+		now = now.Add(paceInterval)
+		srv.advance(now)
+	}
+	tb.Cleanup(func() { srv.Close(); sink.Close() })
+	return w
+}
+
+// datagrams reports how many probe datagrams the wheel has put on the wire.
+func (w *wheelBench) datagrams() int64 { return w.srv.BytesSent() / DatagramSize }
+
+// BenchmarkPacingWheel measures one wheel tick end to end — budget,
+// assemble, batched send — across syscall paths and session counts. Each
+// session paces 20 Mbps, ~10 datagrams per 5 ms tick.
+func BenchmarkPacingWheel(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		mode WireMode
+	}{{"batched", WireAuto}, {"fallback", WireFallback}} {
+		for _, sessions := range []int{1, 64} {
+			b.Run(mode.name+"-"+itoa(sessions), func(b *testing.B) {
+				w := newWheelBench(b, mode.mode, sessions, 20000)
+				w.tick() // first tick only arms lastTick
+				w.tick() // warm scratch and pool
+				start := w.datagrams()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					w.tick()
+				}
+				b.StopTimer()
+				dg := w.datagrams() - start
+				if dg > 0 {
+					b.ReportMetric(float64(dg)/float64(b.N), "datagrams/tick")
+					b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(dg), "ns/datagram")
+				}
+			})
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+type benchWireReport struct {
+	Schema string `json:"schema"`
+	GOOS   string `json:"goos"`
+	GOARCH string `json:"goarch"`
+	CPUs   int    `json:"cpus"`
+	Note   string `json:"note"`
+
+	// Whether the batched path negotiated UDP segmentation offload. Without
+	// it the batched path still coalesces syscalls via sendmmsg, but the
+	// speedup target applies to the offloaded path.
+	SegmentOffload bool `json:"segment_offload"`
+
+	// Per-datagram cost of one full wheel tick (budget + assemble + send)
+	// on each syscall path, 64 sessions at 20 Mbps each.
+	FallbackNsPerDatagram float64 `json:"fallback_ns_per_datagram"`
+	FallbackPktsPerSec    float64 `json:"fallback_pkts_per_sec"`
+	BatchedNsPerDatagram  float64 `json:"batched_ns_per_datagram"`
+	BatchedPktsPerSec     float64 `json:"batched_pkts_per_sec"`
+	SendSpeedup           float64 `json:"send_speedup"`
+
+	// Steady-state heap allocations per paced packet (target: 0).
+	AllocsPerPacket float64 `json:"allocs_per_packet"`
+
+	// Capacity: how many 20 Mbps sessions one core keeps paced, i.e. how
+	// many per-session tick costs fit inside one paceInterval.
+	WheelTickNs64Sessions float64 `json:"wheel_tick_ns_64_sessions"`
+	SessionsPerCore       float64 `json:"sessions_per_core"`
+}
+
+// benchWheelMode times wheel ticks in the given mode and returns
+// (ns per datagram, ns per tick, datagrams per tick).
+func benchWheelMode(t *testing.T, mode WireMode, sessions int) (nsPerDg, nsPerTick, dgPerTick float64) {
+	t.Helper()
+	var w *wheelBench
+	var dg int64
+	r := testing.Benchmark(func(b *testing.B) {
+		w = newWheelBench(b, mode, sessions, 20000)
+		w.tick()
+		w.tick()
+		start := w.datagrams()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			w.tick()
+		}
+		b.StopTimer()
+		dg = w.datagrams() - start
+	})
+	if dg == 0 {
+		t.Fatal("wheel benchmark paced no datagrams")
+	}
+	nsPerTick = float64(r.T.Nanoseconds()) / float64(r.N)
+	dgPerTick = float64(dg) / float64(r.N)
+	return nsPerTick / dgPerTick, nsPerTick, dgPerTick
+}
+
+// TestEmitBenchWire measures both syscall paths through the full pacing
+// wheel and writes BENCH_wire.json.
+func TestEmitBenchWire(t *testing.T) {
+	out := os.Getenv("BENCH_WIRE_OUT")
+	if out == "" {
+		t.Skip("set BENCH_WIRE_OUT=<path> to emit the benchmark report")
+	}
+
+	fbNs, _, _ := benchWheelMode(t, WireFallback, 64)
+	btNs, tickNs, dgPerTick := benchWheelMode(t, WireAuto, 64)
+
+	// Steady-state allocation budget, measured on the batched path (the
+	// fallback shares every allocation site; only the syscall differs).
+	w := newWheelBench(t, WireAuto, 64, 20000)
+	for i := 0; i < 20; i++ {
+		w.tick()
+	}
+	allocsPerTick := testing.AllocsPerRun(100, w.tick)
+
+	gso := false
+	{
+		srv, err := newServer("127.0.0.1:0", ServerConfig{Wire: WireAuto}, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gso = srv.gso
+		srv.Close()
+	}
+
+	report := benchWireReport{
+		Schema: "swiftest-bench-wire/v1",
+		GOOS:   runtime.GOOS,
+		GOARCH: runtime.GOARCH,
+		CPUs:   runtime.NumCPU(),
+		Note: "full wheel tick (budget + assemble + batched send) over loopback, " +
+			"64 sessions at 20 Mbps each, 1200-byte datagrams; speedup is " +
+			"batched-vs-fallback packets/sec through the identical pacing path",
+		SegmentOffload:        gso,
+		FallbackNsPerDatagram: fbNs,
+		FallbackPktsPerSec:    1e9 / fbNs,
+		BatchedNsPerDatagram:  btNs,
+		BatchedPktsPerSec:     1e9 / btNs,
+		SendSpeedup:           fbNs / btNs,
+		AllocsPerPacket:       allocsPerTick / dgPerTick,
+		WheelTickNs64Sessions: tickNs,
+		SessionsPerCore:       float64(paceInterval.Nanoseconds()) / (tickNs / 64),
+	}
+
+	f, err := os.Create(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("batched %.0f ns/datagram (%.0f pkts/s), fallback %.0f ns/datagram, %.1f× speedup, %.3f allocs/packet, %.0f sessions/core",
+		btNs, report.BatchedPktsPerSec, fbNs, report.SendSpeedup, report.AllocsPerPacket, report.SessionsPerCore)
+}

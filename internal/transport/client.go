@@ -15,6 +15,7 @@ import (
 	"github.com/mobilebandwidth/swiftest/internal/errdefs"
 	"github.com/mobilebandwidth/swiftest/internal/faults"
 	"github.com/mobilebandwidth/swiftest/internal/obs"
+	"github.com/mobilebandwidth/swiftest/internal/transport/batchio"
 	"github.com/mobilebandwidth/swiftest/internal/wire"
 )
 
@@ -220,6 +221,9 @@ type UDPProbe struct {
 
 	sampleInterval time.Duration
 	closed         atomic.Bool
+
+	wire    WireMode // syscall strategy for session receive loops
+	recvBuf *bufPool // pooled receive buffers, shared across sessions
 }
 
 type clientSession struct {
@@ -264,6 +268,7 @@ func NewUDPProbeContext(ctx context.Context, pool *ServerPool, rng *rand.Rand) (
 		sampleInterval: SampleInterval,
 		lostAfter:      faults.DefaultLostWindows,
 		ctx:            ctx,
+		recvBuf:        newBufPool(clientRecvBufSize, clientRecvBatch),
 	}, nil
 }
 
@@ -284,6 +289,12 @@ func (p *UDPProbe) SetLostAfter(k int) {
 		p.lostAfter = k
 	}
 }
+
+// SetWire selects the receive syscall strategy (WireAuto batches datagrams
+// per syscall where the platform supports it; WireFallback forces one read
+// per datagram). Call before the first SetRate. Both paths observe identical
+// traffic — the batched-vs-fallback property test pins that.
+func (p *UDPProbe) SetWire(mode WireMode) { p.wire = mode }
 
 // SetMetrics registers the client-side metric series on reg. Call before the
 // first SetRate; a nil registry disables instrumentation.
@@ -451,12 +462,38 @@ func (p *UDPProbe) openSessionLocked(server PoolServer) (*clientSession, error) 
 	return sess, nil
 }
 
+// clientRecvBatch is how many datagrams a session's receive loop accepts
+// per syscall on the batched path.
+const clientRecvBatch = 16
+
+// clientRecvBufSize holds any probe datagram with headroom.
+const clientRecvBufSize = 2048
+
+// receiveLoop drains the session socket in batches: up to clientRecvBatch
+// datagrams per syscall where recvmmsg exists, one otherwise. Receive
+// buffers come from the probe's shared pool and are held for the loop's
+// lifetime, so the steady state reads at 0 allocs/packet.
 func (cs *clientSession) receiveLoop() {
 	defer close(cs.done)
-	buf := make([]byte, 2048)
+	mode := batchio.ModeAuto
+	if cs.probe.wire == WireFallback {
+		mode = batchio.ModeFallback
+	}
+	bio := batchio.New(cs.conn, mode)
+	msgs := make([]batchio.Message, clientRecvBatch)
+	bufs := make([]*pktBuf, clientRecvBatch)
+	for i := range msgs {
+		bufs[i] = cs.probe.recvBuf.get()
+		msgs[i].Buf = bufs[i].b
+	}
+	defer func() {
+		for _, b := range bufs {
+			b.release()
+		}
+	}()
 	for {
 		_ = cs.conn.SetReadDeadline(time.Now().Add(time.Second))
-		n, err := cs.conn.Read(buf)
+		n, err := bio.RecvBatch(msgs)
 		if err != nil {
 			if cs.probe.closed.Load() {
 				return
@@ -467,13 +504,16 @@ func (cs *clientSession) receiveLoop() {
 			}
 			return
 		}
-		typ, err := wire.PeekType(buf[:n])
-		if err != nil || typ != wire.TypeData {
-			continue
+		for i := 0; i < n; i++ {
+			pkt := msgs[i].Buf[:msgs[i].N]
+			typ, err := wire.PeekType(pkt)
+			if err != nil || typ != wire.TypeData {
+				continue
+			}
+			cs.rxBytes.Add(int64(len(pkt)))
+			cs.probe.rxBytes.Add(int64(len(pkt)))
+			cs.probe.observeJitter(pkt)
 		}
-		cs.rxBytes.Add(int64(n))
-		cs.probe.rxBytes.Add(int64(n))
-		cs.probe.observeJitter(buf[:n])
 	}
 }
 

@@ -1,0 +1,337 @@
+package transport
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/mobilebandwidth/swiftest/internal/core"
+	"github.com/mobilebandwidth/swiftest/internal/faults"
+	"github.com/mobilebandwidth/swiftest/internal/gmm"
+	"github.com/mobilebandwidth/swiftest/internal/obs"
+	"github.com/mobilebandwidth/swiftest/internal/wire"
+)
+
+// identityBase is the fixed epoch the scripted wheel clock starts from. It
+// lies in the past, so real-clock lastSeen stamps never trigger the idle
+// reap against scripted instants.
+var identityBase = time.Unix(1700000000, 0)
+
+// identityScript is one deterministic wheel schedule: a fault plan, a
+// session layout and a mid-test rate change, everything keyed off
+// identityBase so two runs draw identical fault and budget sequences.
+type identityScript struct {
+	ticks    int    // advance calls, paceInterval apart
+	rateKbps uint32 // initial per-session rate
+	rekbps   uint32 // rate set on session 0 halfway through
+	sessions int
+	plan     *faults.Plan
+}
+
+// wireCapture is everything one scripted run produced: the per-session raw
+// datagram streams, in arrival order per socket.
+type wireCapture struct {
+	streams [][][]byte
+}
+
+// runScripted drives a wheel-less server through the script in the given
+// wire mode and captures each session's datagram stream. The wheel clock is
+// entirely synthetic: advance is called with identityBase + k·paceInterval,
+// so sequence numbers, fault draws and SentNS stamps are pure functions of
+// the script.
+func runScripted(t *testing.T, mode WireMode, sc identityScript) wireCapture {
+	t.Helper()
+	// startedAt pins the epoch so fault times and SentNS are script-relative.
+	cfg := ServerConfig{UplinkMbps: 100, Wire: mode, startedAt: identityBase}
+	if sc.plan != nil {
+		cfg.Faults = &faults.Binding{Inj: sc.plan.Injector(), Server: 0}
+	}
+	srv, err := newServer("127.0.0.1:0", cfg, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conns := make([]*net.UDPConn, sc.sessions)
+	for i := range conns {
+		conn, err := net.DialUDP("udp", nil, srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		_ = conn.SetReadBuffer(4 << 20)
+		conns[i] = conn
+		handshake(t, conn, uint64(100+i), sc.rateKbps)
+	}
+	waitSessions(t, srv, sc.sessions)
+
+	for k := 1; k <= sc.ticks; k++ {
+		if sc.rekbps != 0 && k == sc.ticks/2 {
+			rs := wire.RateSet{TestID: 100, RateKbps: sc.rekbps, Seq: 1}
+			buf := rs.AppendTo(make([]byte, 0, wire.RateSetLen))
+			if _, err := conns[0].Write(buf); err != nil {
+				t.Fatal(err)
+			}
+			waitRate(t, srv, conns[0], 100, sc.rekbps)
+		}
+		srv.advance(identityBase.Add(time.Duration(k) * paceInterval))
+	}
+
+	capd := wireCapture{streams: make([][][]byte, sc.sessions)}
+	for i, conn := range conns {
+		capd.streams[i] = drainData(t, conn)
+	}
+	return capd
+}
+
+// handshake performs the TestRequest/TestAccept exchange on conn.
+func handshake(t *testing.T, conn *net.UDPConn, testID uint64, rateKbps uint32) {
+	t.Helper()
+	req := wire.TestRequest{TestID: testID, RateKbps: rateKbps}
+	reqBuf := req.AppendTo(make([]byte, 0, wire.TestRequestLen))
+	buf := make([]byte, 256)
+	for attempt := 0; attempt < 10; attempt++ {
+		if _, err := conn.Write(reqBuf); err != nil {
+			t.Fatal(err)
+		}
+		_ = conn.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+		n, err := conn.Read(buf)
+		if err != nil {
+			continue
+		}
+		var acc wire.TestAccept
+		if acc.Decode(buf[:n]) == nil && acc.TestID == testID {
+			return
+		}
+	}
+	t.Fatal("no TestAccept")
+}
+
+// waitSessions blocks until the server has n registered sessions.
+func waitSessions(t *testing.T, srv *Server, n int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.ActiveSessions() != n {
+		if time.Now().After(deadline) {
+			t.Fatalf("sessions = %d, want %d", srv.ActiveSessions(), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// waitRate blocks until the server applied the given rate to the session
+// behind conn — RateSet travels through the real read loop, so the scripted
+// wheel must not advance past it before it lands.
+func waitRate(t *testing.T, srv *Server, conn *net.UDPConn, testID uint64, kbps uint32) {
+	t.Helper()
+	key := sessionKey{addr: conn.LocalAddr().String(), testID: testID}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		srv.mu.Lock()
+		sess := srv.sessions[key]
+		srv.mu.Unlock()
+		if sess != nil && sess.rateKbps.Load() == kbps {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rate %d not applied to session %d", kbps, testID)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// drainData reads every Data datagram queued on conn until the socket goes
+// quiet, returning the raw bytes in arrival order.
+func drainData(t *testing.T, conn *net.UDPConn) [][]byte {
+	t.Helper()
+	var out [][]byte
+	buf := make([]byte, 2048)
+	for {
+		_ = conn.SetReadDeadline(time.Now().Add(300 * time.Millisecond))
+		n, err := conn.Read(buf)
+		if err != nil {
+			return out
+		}
+		if typ, err := wire.PeekType(buf[:n]); err == nil && typ == wire.TypeData {
+			out = append(out, append([]byte(nil), buf[:n]...))
+		}
+	}
+}
+
+// identityPlan exercises every fault kind that touches the pacing path:
+// burst loss, a pacing cap, and a blackout window, all keyed on elapsed
+// script time.
+func identityPlan() *faults.Plan {
+	return &faults.Plan{
+		Seed: 7,
+		Faults: []faults.Fault{
+			{Kind: faults.BurstLoss, Server: 0, AtMS: 30, DurationMS: 40, Prob: 0.5},
+			{Kind: faults.RateCap, Server: 0, AtMS: 120, DurationMS: 60, CapMbps: 5},
+			{Kind: faults.Blackout, Server: 0, AtMS: 220, DurationMS: 40},
+		},
+	}
+}
+
+// TestBatchedFallbackBitIdentity is the refactor's safety property: the
+// batched syscall path (sendmmsg + segmentation offload where available) and
+// the portable fallback must put byte-identical datagram streams on the
+// wire — same headers, same sequence gaps from injected loss, same
+// timestamps — given the same scripted schedule. Everything the client
+// derives from the stream then matches too.
+func TestBatchedFallbackBitIdentity(t *testing.T) {
+	sc := identityScript{
+		ticks:    60, // 300 ms of scripted pacing
+		rateKbps: 20000,
+		rekbps:   35000,
+		sessions: 2,
+		plan:     identityPlan(),
+	}
+	batched := runScripted(t, WireAuto, sc)
+	fallback := runScripted(t, WireFallback, sc)
+
+	for i := range batched.streams {
+		a, b := batched.streams[i], fallback.streams[i]
+		if len(a) == 0 {
+			t.Fatalf("session %d: batched run produced no datagrams", i)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("session %d: batched sent %d datagrams, fallback %d", i, len(a), len(b))
+		}
+		for j := range a {
+			if !bytes.Equal(a[j], b[j]) {
+				t.Fatalf("session %d datagram %d differs between batched and fallback paths", i, j)
+			}
+		}
+	}
+
+	// The loss plan must actually have bitten: sequence numbers in the
+	// stream should show gaps, proving fault draws ran on both paths.
+	seqs := map[uint32]bool{}
+	var maxSeq uint32
+	for _, pkt := range batched.streams[0] {
+		var d wire.Data
+		if err := d.Decode(pkt); err != nil {
+			t.Fatal(err)
+		}
+		seqs[d.Seq] = true
+		if d.Seq > maxSeq {
+			maxSeq = d.Seq
+		}
+	}
+	if len(seqs) == int(maxSeq) {
+		t.Error("no sequence gaps: the burst-loss fault never fired, the script is too tame")
+	}
+}
+
+// replayProbe feeds a fixed sample series through core.Run under virtual
+// time, so two identical wire captures produce identical engine results.
+type replayProbe struct {
+	samples []float64
+	i       int
+	elapsed time.Duration
+	rate    float64
+	dataMB  float64
+}
+
+func (p *replayProbe) SetRate(mbps float64) error { p.rate = mbps; return nil }
+
+func (p *replayProbe) NextSample() (float64, bool) {
+	if p.i >= len(p.samples) {
+		return 0, false
+	}
+	s := p.samples[p.i]
+	p.i++
+	p.elapsed += SampleInterval
+	p.dataMB += s / 8 * SampleInterval.Seconds()
+	return s, true
+}
+
+func (p *replayProbe) Elapsed() time.Duration { return p.elapsed }
+func (p *replayProbe) DataMB() float64        { return p.dataMB }
+
+// samplesFromCapture folds a capture into 50 ms throughput windows keyed on
+// the datagrams' scripted SentNS stamps — the client-visible sample series.
+func samplesFromCapture(t *testing.T, capd wireCapture) []float64 {
+	t.Helper()
+	base := uint64(identityBase.UnixNano())
+	byWindow := map[int]int{}
+	maxWin := 0
+	for _, stream := range capd.streams {
+		for _, pkt := range stream {
+			var d wire.Data
+			if err := d.Decode(pkt); err != nil {
+				t.Fatal(err)
+			}
+			win := int((d.SentNS - base) / uint64(SampleInterval))
+			byWindow[win] += len(pkt)
+			if win > maxWin {
+				maxWin = win
+			}
+		}
+	}
+	out := make([]float64, maxWin+1)
+	for win, b := range byWindow {
+		out[win] = float64(b) * 8 / SampleInterval.Seconds() / 1e6
+	}
+	return out
+}
+
+// TestBatchedFallbackResultIdentity closes the loop from wire bytes to
+// engine output: the sample series derived from each path's capture is run
+// through core.Run, and the Results and trace event streams must be
+// reflect.DeepEqual — the refactor is invisible above the socket.
+func TestBatchedFallbackResultIdentity(t *testing.T) {
+	sc := identityScript{ticks: 120, rateKbps: 20000, sessions: 1, plan: identityPlan()}
+	model := gmm.MustNew(gmm.Component{Weight: 1, Mu: 18, Sigma: 3})
+
+	run := func(mode WireMode) (core.Result, []obs.Event) {
+		capd := runScripted(t, mode, sc)
+		tr := obs.NewTrace(0)
+		res, err := core.Run(&replayProbe{samples: samplesFromCapture(t, capd)},
+			core.Config{Model: model, MaxDuration: 5 * time.Second, Trace: tr})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, tr.Events()
+	}
+
+	resA, evA := run(WireAuto)
+	resB, evB := run(WireFallback)
+	if !reflect.DeepEqual(resA, resB) {
+		t.Errorf("Results diverge:\nbatched:  %+v\nfallback: %+v", resA, resB)
+	}
+	if !reflect.DeepEqual(evA, evB) {
+		t.Errorf("trace event streams diverge: %d vs %d events", len(evA), len(evB))
+	}
+	if resA.Bandwidth <= 0 {
+		t.Error("replayed run produced no bandwidth estimate")
+	}
+}
+
+// TestScriptedFaultSequenceStable pins the fault draws themselves: the set
+// of surviving sequence numbers under the scripted plan is identical run to
+// run — the injector keys on (seed, server, seq), not on wall time or send
+// order.
+func TestScriptedFaultSequenceStable(t *testing.T) {
+	sc := identityScript{ticks: 40, rateKbps: 16000, sessions: 1, plan: identityPlan()}
+	want := ""
+	for round := 0; round < 3; round++ {
+		capd := runScripted(t, WireAuto, sc)
+		got := ""
+		for _, pkt := range capd.streams[0] {
+			var d wire.Data
+			if err := d.Decode(pkt); err != nil {
+				t.Fatal(err)
+			}
+			got += fmt.Sprintf("%d,", d.Seq)
+		}
+		if round == 0 {
+			want = got
+		} else if got != want {
+			t.Fatalf("round %d: surviving sequence set changed:\n%s\nvs\n%s", round, got, want)
+		}
+	}
+}

@@ -17,6 +17,8 @@ type serverMetrics struct {
 	datagramsSent    *obs.Counter
 	bytesSent        *obs.Counter
 	sendErrors       *obs.Counter
+	sendBatches      *obs.Counter
+	batchDatagrams   *obs.Histogram
 	rateClamped      *obs.Counter
 	faultsInjected   *obs.Counter
 	pings            *obs.Counter
@@ -46,6 +48,11 @@ func newServerMetrics(reg *obs.Registry) serverMetrics {
 			"Probe bytes written to the socket."),
 		sendErrors: reg.Counter("swiftest_server_send_errors_total",
 			"Probe datagram writes that failed (treated as UDP loss)."),
+		sendBatches: reg.Counter("swiftest_server_send_batches_total",
+			"Batched wire flushes handed to the kernel (one pacing-wheel tick's sends each)."),
+		batchDatagrams: reg.Histogram("swiftest_server_batch_datagrams",
+			"Probe datagrams per batched wire flush.",
+			[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}),
 		rateClamped: reg.Counter("swiftest_server_rate_clamped_total",
 			"Rate requests reduced to fit the server uplink cap."),
 		faultsInjected: reg.Counter("swiftest_server_faults_injected_total",

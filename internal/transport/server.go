@@ -5,8 +5,12 @@
 // This is the deployable counterpart of the virtual-time SimProbe: the same
 // engine logic (package core) drives both, so experiments validated on the
 // emulator carry over to the wire. The server is intentionally cheap — a
-// read loop plus one pacing goroutine per active test — matching the paper's
-// point that Swiftest runs on small 100 Mbps budget VMs (§5.2/§5.3).
+// batched read loop plus one pacing-wheel goroutine shared by every active
+// test — matching the paper's point that Swiftest runs on small 100 Mbps
+// budget VMs (§5.2/§5.3). The wire hot path is built on package batchio:
+// many datagrams per syscall (sendmmsg plus UDP segmentation offload where
+// the kernel has them) and pooled zero-allocation buffers, with a portable
+// one-datagram-per-syscall fallback that emits byte-identical traffic.
 //
 //lint:allow walltime deployment-side package paced against real sockets; the virtual-time counterpart is core+linksim
 package transport
@@ -22,6 +26,7 @@ import (
 
 	"github.com/mobilebandwidth/swiftest/internal/faults"
 	"github.com/mobilebandwidth/swiftest/internal/obs"
+	"github.com/mobilebandwidth/swiftest/internal/transport/batchio"
 	"github.com/mobilebandwidth/swiftest/internal/wire"
 )
 
@@ -29,12 +34,29 @@ import (
 // common MTUs to avoid fragmentation.
 const DatagramSize = 1200
 
-// paceInterval is the pacing quantum: each interval the pacer emits the
-// bytes corresponding to the current probing rate.
+// paceInterval is the pacing quantum: each interval the wheel emits the
+// bytes corresponding to every session's current probing rate.
 const paceInterval = 5 * time.Millisecond
 
 // DefaultIdleTimeout reaps sessions whose client vanished without Fin.
 const DefaultIdleTimeout = 10 * time.Second
+
+// recvBatch is how many datagrams the server's read loop accepts per
+// syscall on the batched path.
+const recvBatch = 16
+
+// WireMode selects the send/receive syscall strategy for a server or probe.
+type WireMode int
+
+const (
+	// WireAuto uses vectored syscalls and UDP segmentation offload where the
+	// platform has them, falling back automatically elsewhere.
+	WireAuto WireMode = iota
+	// WireFallback forces the portable one-datagram-per-syscall path. The
+	// wire traffic is byte-identical to WireAuto — only the syscall count
+	// differs — which the batched-vs-fallback property test pins.
+	WireFallback
+)
 
 // ServerConfig configures a test server.
 type ServerConfig struct {
@@ -58,20 +80,45 @@ type ServerConfig struct {
 	// lose probe datagrams, clamp pacing. Fault times are elapsed since
 	// NewServer. Nil injects nothing; the hooks cost one nil check each.
 	Faults *faults.Binding
+	// Wire selects the syscall strategy; the zero value (WireAuto) is right
+	// for deployments, WireFallback exists for equivalence testing and
+	// debugging.
+	Wire WireMode
+	// startedAt, when non-zero, pins the server's epoch — the base for
+	// fault-plan times and datagram timestamps. Test-only (unexported):
+	// scripted wheel schedules set it before the read loop starts so the
+	// override never races a live packet.
+	startedAt time.Time
 }
 
 // Server is a Swiftest UDP test server.
 type Server struct {
 	conn    *net.UDPConn
+	bio     batchio.Conn
+	gso     bool // kernel splits super-buffers into DatagramSize segments
+	pool    *bufPool
 	cfg     ServerConfig
 	wg      sync.WaitGroup
 	closed  atomic.Bool
 	metrics serverMetrics
 	started time.Time
 
+	wheelStop chan struct{}
+
 	mu         sync.Mutex
 	sessions   map[sessionKey]*session // guarded by mu
+	order      []*session              // registration order, for deterministic wheel iteration; guarded by mu
 	hsAttempts map[sessionKey]int      // handshake datagrams seen per key, for fault draws; guarded by mu
+
+	// Wheel-goroutine scratch, reused every tick so the steady state runs at
+	// 0 allocs/packet.
+	active  []*session
+	msgs    []batchio.Message
+	msgBufs []*pktBuf
+	bufs    []*pktBuf
+
+	// ctl is the read loop's single-message scratch for control replies.
+	ctl [1]batchio.Message
 
 	bytesSent atomic.Int64
 }
@@ -82,19 +129,32 @@ type sessionKey struct {
 }
 
 type session struct {
+	key      sessionKey
 	testID   uint64
 	peer     *net.UDPAddr
 	rateKbps atomic.Uint32
 	rateSeq  atomic.Uint32
 	lastSeen atomic.Int64 // unix nanos
-	stop     chan struct{}
-	stopOnce sync.Once
+	retired  atomic.Bool  // exactly-once wheel deregistration
+
+	// Pacing state, owned by the wheel goroutine after publication.
+	seq        uint32
+	carryBytes float64
+	lastTick   time.Time
 }
 
 // NewServer starts a server on addr (e.g. "127.0.0.1:0"). Close releases it.
 //
 //lint:allow ctxflow the read loop's lifetime is bounded by Close, the standard lifecycle for long-lived servers
 func NewServer(addr string, cfg ServerConfig) (*Server, error) {
+	return newServer(addr, cfg, true)
+}
+
+// newServer is NewServer with the pacing wheel optionally left unstarted, so
+// deterministic tests can drive advance with a scripted clock.
+//
+//lint:allow ctxflow the read loop's lifetime is bounded by Close, the standard lifecycle for long-lived servers
+func newServer(addr string, cfg ServerConfig, startWheel bool) (*Server, error) {
 	udpAddr, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: resolving %q: %w", addr, err)
@@ -109,17 +169,35 @@ func NewServer(addr string, cfg ServerConfig) (*Server, error) {
 	if cfg.IdleTimeout <= 0 {
 		cfg.IdleTimeout = DefaultIdleTimeout
 	}
+	mode := batchio.ModeAuto
+	if cfg.Wire == WireFallback {
+		mode = batchio.ModeFallback
+	}
 	s := &Server{
 		conn:       conn,
+		bio:        batchio.New(conn, mode),
+		pool:       newBufPool(segsPerBuf*DatagramSize, 4),
 		cfg:        cfg,
 		sessions:   make(map[sessionKey]*session),
 		hsAttempts: make(map[sessionKey]int),
 		started:    time.Now(),
+		wheelStop:  make(chan struct{}),
+	}
+	if !cfg.startedAt.IsZero() {
+		s.started = cfg.startedAt
+	}
+	if cfg.Wire == WireAuto && batchio.Batched(s.bio) &&
+		batchio.MaxSegments(DatagramSize) >= segsPerBuf {
+		s.gso = batchio.SetSegmentSize(conn, DatagramSize) == nil
 	}
 	s.metrics = newServerMetrics(cfg.Metrics)
 	s.metrics.uplinkMbps.Set(cfg.UplinkMbps)
 	s.wg.Add(1)
 	go s.readLoop()
+	if startWheel {
+		s.wg.Add(1)
+		go s.wheelLoop()
+	}
 	return s, nil
 }
 
@@ -136,17 +214,19 @@ func (s *Server) ActiveSessions() int {
 	return len(s.sessions)
 }
 
-// Close stops the server and all sessions.
+// Close stops the server and retires all sessions.
 func (s *Server) Close() error {
 	if s.closed.Swap(true) {
 		return nil
 	}
+	close(s.wheelStop)
 	err := s.conn.Close()
 	s.mu.Lock()
-	for _, sess := range s.sessions {
-		sess.shutdown()
-	}
+	live := append([]*session(nil), s.order...)
 	s.mu.Unlock()
+	for _, sess := range live {
+		s.retire(sess)
+	}
 	s.wg.Wait()
 	return err
 }
@@ -167,12 +247,22 @@ func (s *Server) elapsed() time.Duration { return time.Since(s.started) }
 // marks the server dead — the same detector, both worlds.
 func (s *Server) BlackedOut() bool { return s.cfg.Faults.Blackout(s.elapsed()) }
 
+// cloneUDPAddr copies a peer address out of reused receive-batch storage so
+// it can be stored or used after the read loop recycles the batch.
+func cloneUDPAddr(a *net.UDPAddr) *net.UDPAddr {
+	return &net.UDPAddr{IP: append(net.IP(nil), a.IP...), Port: a.Port, Zone: a.Zone}
+}
+
 func (s *Server) readLoop() {
 	defer s.wg.Done()
-	buf := make([]byte, 2048)
+	msgs := make([]batchio.Message, recvBatch)
+	for i := range msgs {
+		msgs[i].Buf = make([]byte, 2048)
+		msgs[i].Addr = &net.UDPAddr{IP: make(net.IP, 16)}
+	}
 	out := make([]byte, 0, 64)
 	for {
-		n, peer, err := s.conn.ReadFromUDP(buf)
+		n, err := s.bio.RecvBatch(msgs)
 		if err != nil {
 			if s.closed.Load() {
 				return
@@ -183,58 +273,79 @@ func (s *Server) readLoop() {
 			}
 			return
 		}
-		pkt := buf[:n]
-		typ, err := wire.PeekType(pkt)
-		if err != nil {
-			continue // not ours; drop silently
-		}
-		if s.cfg.Faults.Blackout(s.elapsed()) {
-			// A blacked-out server is dead to the world: every inbound
-			// datagram vanishes, exactly like a crashed process.
-			s.metrics.faultsInjected.Inc()
-			continue
-		}
-		out = out[:0]
-		switch typ {
-		case wire.TypePing:
-			var ping wire.Ping
-			if ping.Decode(pkt) == nil {
-				s.metrics.pings.Inc()
-				pong := wire.Pong{Seq: ping.Seq, EchoNS: ping.SentNS}
-				out = pong.AppendTo(out)
-				s.sendPong(out, peer)
-			}
-		case wire.TypeTestRequest:
-			var req wire.TestRequest
-			if req.Decode(pkt) == nil {
-				if s.dropHandshake(&req, peer) {
-					s.metrics.faultsInjected.Inc()
-					continue
-				}
-				s.handleTestRequest(&req, peer)
-				acc := wire.TestAccept{TestID: req.TestID}
-				out = acc.AppendTo(out)
-				_, _ = s.conn.WriteToUDP(out, peer)
-			}
-		case wire.TypeRateSet:
-			var rs wire.RateSet
-			if rs.Decode(pkt) == nil {
-				s.handleRateSet(&rs, peer)
-			}
-		case wire.TypeFin:
-			var fin wire.Fin
-			if fin.Decode(pkt) == nil {
-				s.handleFin(&fin, peer)
-				ack := wire.FinAck{TestID: fin.TestID}
-				out = ack.AppendTo(out)
-				_, _ = s.conn.WriteToUDP(out, peer)
-			}
+		for i := 0; i < n; i++ {
+			out = s.handlePacket(msgs[i].Buf[:msgs[i].N], msgs[i].Addr, out)
 		}
 	}
 }
 
+// handlePacket dispatches one inbound datagram. peer points into reused
+// batch storage: handlers that keep it beyond this call clone it. out is the
+// reply scratch buffer, returned so the read loop can keep reusing it.
+func (s *Server) handlePacket(pkt []byte, peer *net.UDPAddr, out []byte) []byte {
+	typ, err := wire.PeekType(pkt)
+	if err != nil {
+		return out // not ours; drop silently
+	}
+	if s.cfg.Faults.Blackout(s.elapsed()) {
+		// A blacked-out server is dead to the world: every inbound
+		// datagram vanishes, exactly like a crashed process.
+		s.metrics.faultsInjected.Inc()
+		return out
+	}
+	out = out[:0]
+	switch typ {
+	case wire.TypePing:
+		var ping wire.Ping
+		if ping.Decode(pkt) == nil {
+			s.metrics.pings.Inc()
+			pong := wire.Pong{Seq: ping.Seq, EchoNS: ping.SentNS}
+			out = pong.AppendTo(out)
+			s.sendPong(out, peer)
+		}
+	case wire.TypeTestRequest:
+		var req wire.TestRequest
+		if req.Decode(pkt) == nil {
+			if s.dropHandshake(&req, peer) {
+				s.metrics.faultsInjected.Inc()
+				return out
+			}
+			s.handleTestRequest(&req, peer)
+			acc := wire.TestAccept{TestID: req.TestID}
+			out = acc.AppendTo(out)
+			s.sendControl(out, peer)
+		}
+	case wire.TypeRateSet:
+		var rs wire.RateSet
+		if rs.Decode(pkt) == nil {
+			s.handleRateSet(&rs, peer)
+		}
+	case wire.TypeFin:
+		var fin wire.Fin
+		if fin.Decode(pkt) == nil {
+			s.handleFin(&fin, peer)
+			ack := wire.FinAck{TestID: fin.TestID}
+			out = ack.AppendTo(out)
+			s.sendControl(out, peer)
+		}
+	}
+	return out
+}
+
+// sendControl routes one control datagram through the batch sender, the
+// single code path for every server wire send: a failed write increments
+// send-errors instead of vanishing. Control messages are shorter than the
+// offload segment size, so an offload-enabled socket sends them unchanged.
+// Read-loop goroutine only (it reuses the ctl scratch).
+func (s *Server) sendControl(out []byte, peer *net.UDPAddr) {
+	s.ctl[0] = batchio.Message{Buf: out, Addr: peer}
+	if _, err := s.bio.SendBatch(s.ctl[:]); err != nil && !s.closed.Load() {
+		s.metrics.sendErrors.Inc()
+	}
+}
+
 // sendPong writes a pong, applying any active pong-delay / pong-dup fault.
-// The fast path (no fault plan) is one nil check and a direct write.
+// The fast path (no fault plan) is one nil check and a direct batched write.
 func (s *Server) sendPong(out []byte, peer *net.UDPAddr) {
 	act := s.cfg.Faults.Pong(s.elapsed())
 	if act.Drop {
@@ -242,14 +353,18 @@ func (s *Server) sendPong(out []byte, peer *net.UDPAddr) {
 		return
 	}
 	if act.Delay <= 0 && act.Copies <= 1 {
-		_, _ = s.conn.WriteToUDP(out, peer)
+		s.sendControl(out, peer)
 		return
 	}
 	s.metrics.faultsInjected.Inc()
-	pong := append([]byte(nil), out...) // out is reused by the read loop
+	// out and peer are reused by the read loop; the delayed send needs
+	// copies of both.
+	msg := []batchio.Message{{Buf: append([]byte(nil), out...), Addr: cloneUDPAddr(peer)}}
 	send := func() {
 		for i := 0; i < act.Copies; i++ {
-			_, _ = s.conn.WriteToUDP(pong, peer)
+			if _, err := s.bio.SendBatch(msg); err != nil && !s.closed.Load() {
+				s.metrics.sendErrors.Inc()
+			}
 		}
 	}
 	if act.Delay > 0 {
@@ -281,7 +396,7 @@ func (s *Server) handleTestRequest(req *wire.TestRequest, peer *net.UDPAddr) {
 	if _, exists := s.sessions[key]; exists {
 		return // duplicate request (client retransmit); already running
 	}
-	sess := &session{testID: req.TestID, peer: peer, stop: make(chan struct{})}
+	sess := &session{key: key, testID: req.TestID, peer: cloneUDPAddr(peer)}
 	granted := s.clampRateLocked(req.RateKbps, nil)
 	if granted < req.RateKbps {
 		s.metrics.rateClamped.Inc()
@@ -289,11 +404,10 @@ func (s *Server) handleTestRequest(req *wire.TestRequest, peer *net.UDPAddr) {
 	sess.rateKbps.Store(granted)
 	sess.lastSeen.Store(time.Now().UnixNano())
 	s.sessions[key] = sess
+	s.order = append(s.order, sess)
 	s.metrics.sessionsStarted.Inc()
 	s.metrics.sessionsActive.Inc()
 	s.updatePacedGaugeLocked()
-	s.wg.Add(1)
-	go s.pace(sess, key)
 	s.logf("test started", "peer", peer.String(), "test_id", req.TestID,
 		"rate_mbps", wire.MbpsFromKbps(req.RateKbps))
 }
@@ -356,13 +470,10 @@ func (s *Server) handleFin(fin *wire.Fin, peer *net.UDPAddr) {
 	key := sessionKey{addr: peer.String(), testID: fin.TestID}
 	s.mu.Lock()
 	sess := s.sessions[key]
-	delete(s.sessions, key)
-	s.updatePacedGaugeLocked()
 	s.mu.Unlock()
-	if sess == nil {
-		return
+	if sess == nil || !s.retire(sess) {
+		return // unknown or already retired: still FinAck'd by the caller
 	}
-	sess.shutdown()
 	s.metrics.sessionsFinished.Inc()
 	s.metrics.resultMbps.Observe(wire.MbpsFromKbps(fin.ResultKbps))
 	if s.cfg.OnResult != nil {
@@ -370,101 +481,4 @@ func (s *Server) handleFin(fin *wire.Fin, peer *net.UDPAddr) {
 	}
 	s.logf("test finished", "peer", peer.String(), "test_id", fin.TestID,
 		"result_mbps", wire.MbpsFromKbps(fin.ResultKbps))
-}
-
-func (sess *session) shutdown() { sess.stopOnce.Do(func() { close(sess.stop) }) }
-
-// pace emits probe datagrams to the session peer at its current rate until
-// the session stops or idles out.
-func (s *Server) pace(sess *session, key sessionKey) {
-	defer s.wg.Done()
-	// Exactly-once teardown accounting: every session's pace goroutine exits
-	// through this defer regardless of the Fin / idle-reap / Close path.
-	defer func() {
-		s.mu.Lock()
-		delete(s.sessions, key)
-		s.metrics.sessionsActive.Dec()
-		s.updatePacedGaugeLocked()
-		s.mu.Unlock()
-	}()
-
-	ticker := time.NewTicker(paceInterval)
-	defer ticker.Stop()
-
-	pkt := make([]byte, 0, DatagramSize)
-	payload := make([]byte, DatagramSize-wire.DataHeaderLen)
-	var seq uint32
-	var carryBytes float64
-	last := time.Now()
-
-	for {
-		select {
-		case <-sess.stop:
-			return
-		case <-ticker.C:
-		}
-		now := time.Now()
-		elapsed := now.Sub(last).Seconds()
-		last = now
-		if now.UnixNano()-sess.lastSeen.Load() > int64(s.cfg.IdleTimeout) {
-			s.metrics.sessionsReaped.Inc()
-			s.logf("session idle timeout", "peer", sess.peer.String(), "test_id", sess.testID)
-			return
-		}
-		rate := wire.MbpsFromKbps(sess.rateKbps.Load())
-		if b := s.cfg.Faults; b != nil {
-			at := s.elapsed()
-			if b.Blackout(at) {
-				// A blacked-out server paces nothing — the client sees the
-				// session fall silent and fails over.
-				carryBytes = 0
-				s.metrics.faultsInjected.Inc()
-				continue
-			}
-			if capMbps, ok := b.CapMbps(at); ok && rate > capMbps {
-				rate = capMbps
-				s.metrics.faultsInjected.Inc()
-			}
-		}
-		if rate <= 0 {
-			carryBytes = 0
-			continue
-		}
-		// Budget by measured elapsed time, not the nominal tick: the pacer
-		// self-corrects against ticker jitter and scheduling delay so the
-		// client's 50 ms samples stay smooth.
-		carryBytes += rate * 1e6 * elapsed / 8
-		// Bound the burst after a long stall to two ticks of traffic.
-		if maxCarry := rate * 1e6 * 2 * paceInterval.Seconds() / 8; carryBytes > maxCarry {
-			carryBytes = maxCarry
-		}
-		for carryBytes >= DatagramSize {
-			carryBytes -= DatagramSize
-			seq++
-			if b := s.cfg.Faults; b != nil && b.DropData(s.elapsed(), uint64(seq)) {
-				// Burst loss: the datagram is paced but never hits the wire.
-				s.metrics.faultsInjected.Inc()
-				continue
-			}
-			d := wire.Data{
-				TestID:  sess.testID,
-				Seq:     seq,
-				SentNS:  uint64(time.Now().UnixNano()),
-				Payload: payload,
-			}
-			pkt = d.AppendTo(pkt[:0])
-			if _, err := s.conn.WriteToUDP(pkt, sess.peer); err != nil {
-				if s.closed.Load() {
-					return
-				}
-				// Transient send failure (e.g. buffer full): drop and move on,
-				// exactly like a lossy link.
-				s.metrics.sendErrors.Inc()
-				break
-			}
-			s.bytesSent.Add(int64(len(pkt)))
-			s.metrics.datagramsSent.Inc()
-			s.metrics.bytesSent.Add(uint64(len(pkt)))
-		}
-	}
 }

@@ -85,6 +85,42 @@ func TestDataRoundTrip(t *testing.T) {
 	}
 }
 
+func TestDataEncodeHeaderMatchesAppendTo(t *testing.T) {
+	payload := bytes.Repeat([]byte{0x00}, 1176)
+	in := Data{TestID: 77, Seq: 4242, SentNS: 999999, Payload: payload}
+	want := in.AppendTo(nil)
+
+	// EncodeHeader into a zero-padded pooled buffer must give the same bytes.
+	got := make([]byte, DataHeaderLen+len(payload))
+	in.EncodeHeader(got)
+	if !bytes.Equal(got, want) {
+		t.Error("EncodeHeader and AppendTo disagree on the wire bytes")
+	}
+
+	// Restamping must touch only the header region.
+	got[DataHeaderLen] = 0xFF
+	in.Seq = 4243
+	in.EncodeHeader(got)
+	if got[DataHeaderLen] != 0xFF {
+		t.Error("EncodeHeader wrote past DataHeaderLen into the payload region")
+	}
+	var out Data
+	if err := out.Decode(got); err != nil {
+		t.Fatal(err)
+	}
+	if out.Seq != 4243 {
+		t.Errorf("restamped Seq = %d, want 4243", out.Seq)
+	}
+}
+
+func TestDataEncodeHeaderAllocs(t *testing.T) {
+	buf := make([]byte, DataHeaderLen)
+	d := Data{TestID: 1, Seq: 2, SentNS: 3}
+	if n := testing.AllocsPerRun(100, func() { d.EncodeHeader(buf) }); n != 0 {
+		t.Errorf("EncodeHeader allocates %.1f per call, want 0", n)
+	}
+}
+
 func TestDataPayloadAliasesBuffer(t *testing.T) {
 	in := Data{TestID: 1, Payload: []byte{1, 2, 3}}
 	buf := in.AppendTo(nil)

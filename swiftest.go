@@ -205,7 +205,23 @@ type ServerOptions struct {
 	// FaultServer is this server's index in the fault plan's pool order
 	// (Fault.Server). Only consulted when FaultPlan is non-nil.
 	FaultServer int
+	// Wire selects the server's send/receive syscall path. WireAuto (the
+	// zero value) uses batched message syscalls plus UDP segmentation
+	// offload where the kernel supports them; WireFallback forces the
+	// portable one-datagram-per-syscall path. Both put byte-identical
+	// datagram streams on the wire.
+	Wire WireMode
 }
+
+// WireMode selects the syscall path probe datagrams take to the wire.
+type WireMode = transport.WireMode
+
+const (
+	// WireAuto negotiates the fastest available path at startup.
+	WireAuto = transport.WireAuto
+	// WireFallback forces the portable single-message path.
+	WireFallback = transport.WireFallback
+)
 
 // Server is a running Swiftest UDP test server.
 type Server struct {
@@ -227,6 +243,7 @@ func NewServer(addr string, opts ServerOptions) (*Server, error) {
 		OnResult:   opts.OnResult,
 		Metrics:    opts.Metrics,
 		Faults:     binding,
+		Wire:       opts.Wire,
 	})
 	if err != nil {
 		return nil, err
