@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -75,7 +76,7 @@ func main() {
 		{"fig17", (*runner).fig17}, {"fig18", (*runner).fig18and19},
 		{"fig20", (*runner).fig20to22}, {"fig23", (*runner).fig23to25},
 		{"fig26", (*runner).fig26}, {"trace", (*runner).trace}, {"cost", (*runner).cost},
-		{"sec7", (*runner).sec7},
+		{"sec7", (*runner).sec7}, {"scenarios", (*runner).scenarios},
 	}
 	aliases := map[string]string{
 		"fig6": "fig5", "fig9": "fig8", "fig12": "fig11", "fig14": "fig13",
@@ -623,6 +624,56 @@ func (r *runner) sec7() {
 	row("optimal refarming (§4 planner)", "spare B3, take wide bands",
 		fmt.Sprintf("%v → %.0f MHz NR, %.0f %% load displaced",
 			plan.Refarmed, plan.TotalNRMHz, 100*plan.DisplacedLoad))
+}
+
+// scenarios sweeps the RAN profile library with the campaign runner: how
+// the termination algorithms hold up under the multi-state link dynamics
+// (fades, handovers, sleep, congestion) the paper's drive tests observed.
+func (r *runner) scenarios() {
+	header("scenario library — RAN profile campaign (profiles × algorithms × fault plans)")
+	runs := 3
+	if r.pairN <= 40 { // -quick
+		runs = 1
+	}
+	rep, err := exper.RunCampaign(context.Background(), exper.CampaignConfig{
+		Runs:    runs,
+		Seed:    r.seed,
+		Workers: r.workers,
+	})
+	if err != nil {
+		r.fail("scenarios: %v", err)
+		return
+	}
+	// Per-algorithm aggregates across the whole sweep.
+	type agg struct {
+		acc, durMS, dataMB float64
+		cells              int
+	}
+	byAlg := map[string]*agg{}
+	for _, s := range rep.Scenarios {
+		a := byAlg[s.Algorithm]
+		if a == nil {
+			a = &agg{}
+			byAlg[s.Algorithm] = a
+		}
+		a.acc += s.MeanAccuracy
+		a.durMS += s.MeanDurationMS
+		a.dataMB += s.MeanDataMB
+		a.cells++
+	}
+	for _, alg := range rep.Algorithms {
+		a := byAlg[alg]
+		if a == nil || a.cells == 0 {
+			continue
+		}
+		n := float64(a.cells)
+		row(alg+" across scenario sweep", "accuracy under RAN dynamics",
+			fmt.Sprintf("%.0f%% accuracy, %.2f s, %.1f MB mean over %d cells",
+				100*a.acc/n, a.durMS/n/1e3, a.dataMB/n, a.cells))
+	}
+	if err := rep.WriteTable(os.Stdout); err != nil {
+		r.fail("scenarios table: %v", err)
+	}
 }
 
 func (r *runner) fail(format string, args ...any) {

@@ -308,6 +308,7 @@ func loadgenCmd(args []string) error {
 	workers := fs.Int("workers", 4, "goroutines advancing per-server links (does not affect results)")
 	seed := fs.Int64("seed", 1, "run seed")
 	faultsPath := fs.String("faults", "", "JSON fault plan to inject (server indexes = fleet slot IDs)")
+	profileName := fs.String("profile", "", "drive server uplinks through a RAN scenario profile (see `swiftest profiles`)")
 	asJSON := fs.Bool("json", false, "emit the report as JSON")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -334,6 +335,13 @@ func loadgenCmd(args []string) error {
 			return err
 		}
 		cfg.Faults = plan.Injector()
+	}
+	if *profileName != "" {
+		p, err := swiftest.LookupProfile(*profileName)
+		if err != nil {
+			return err
+		}
+		cfg.Profile = p
 	}
 	rep, err := swiftest.GenerateLoad(context.Background(), cfg)
 	if err != nil {

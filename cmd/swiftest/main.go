@@ -59,6 +59,10 @@ func main() {
 		err = dispatch(os.Args[2:])
 	case "loadgen":
 		err = loadgenCmd(os.Args[2:])
+	case "campaign":
+		err = campaign(os.Args[2:])
+	case "profiles":
+		err = profilesCmd(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -85,6 +89,8 @@ commands:
   floodtest   run a legacy 10-second flooding test against HTTP servers
   dispatch    run the fleet control plane for a deployment plan (HTTP)
   loadgen     rehearse a deployment plan under diurnal load in virtual time
+  campaign    sweep RAN profiles x algorithms x fault plans in virtual time
+  profiles    list the built-in RAN scenario profile library
 
 run "swiftest <command> -h" for command flags.
 `)
@@ -342,8 +348,26 @@ func simulate(args []string) error {
 	tracePath := fs.String("trace", "", "write a JSONL run-record of the emulated test to this file")
 	faultsPath := fs.String("faults", "", "JSON fault plan to inject into the emulated pool")
 	uplinks := fs.String("uplinks", "", "comma-separated per-server uplink caps (Mbps) for a multi-server pool")
+	profileName := fs.String("profile", "", "drive the link with a RAN scenario profile (see `swiftest profiles`; overrides -capacity/-rtt/-noise)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var profile *swiftest.Profile
+	if *profileName != "" {
+		p, err := swiftest.LookupProfile(*profileName)
+		if err != nil {
+			return err
+		}
+		profile = p
+		techSet := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "tech" {
+				techSet = true
+			}
+		})
+		if !techSet && *modelPath == "" {
+			*tech = p.Tech // default the model to the profile's technology
+		}
 	}
 	var model *swiftest.Model
 	var err error
@@ -364,7 +388,9 @@ func simulate(args []string) error {
 	if err != nil {
 		return err
 	}
-	link := swiftest.LinkConfig{CapacityMbps: *capMbps, RTT: *rtt, Fluctuation: *fluct, Seed: *seed}
+	// The profile rides on the LinkConfig so -compare baselines replay the
+	// identical scenario (same seed, same state chain) as the Swiftest run.
+	link := swiftest.LinkConfig{CapacityMbps: *capMbps, RTT: *rtt, Fluctuation: *fluct, Seed: *seed, Profile: profile}
 	var trace *swiftest.Trace
 	if *tracePath != "" {
 		trace = swiftest.NewTrace(0)
@@ -501,5 +527,66 @@ func floodTest(args []string) error {
 	fmt.Printf("duration   : %v (fixed flooding window)\n", rep.Duration.Round(time.Millisecond))
 	fmt.Printf("data used  : %.1f MB over %d connections\n", rep.DataMB, rep.Conns)
 	fmt.Printf("samples    : %d\n", len(rep.Samples))
+	return nil
+}
+
+func campaign(args []string) error {
+	fs := flag.NewFlagSet("campaign", flag.ExitOnError)
+	profilesFlag := fs.String("profiles", "all", `comma-separated RAN profiles to sweep, or "all"`)
+	algsFlag := fs.String("algs", "swiftest,fastbts", "comma-separated termination algorithms (swiftest, fastbts, fast)")
+	runs := fs.Int("runs", 3, "seeded runs per (profile, algorithm, fault plan) cell")
+	seed := fs.Int64("seed", 1, "campaign seed; the report is a pure function of (config, seed)")
+	workers := fs.Int("workers", 4, "concurrent runs (the report is byte-identical at any worker count)")
+	jsonOut := fs.String("json", "", `write the swiftest-campaign-report/v1 JSON here ("-" for stdout, suppressing the table)`)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := swiftest.CampaignConfig{Runs: *runs, Seed: *seed, Workers: *workers}
+	if *profilesFlag != "all" && *profilesFlag != "" {
+		cfg.Profiles = strings.Split(*profilesFlag, ",")
+	}
+	if *algsFlag != "" {
+		cfg.Algorithms = strings.Split(*algsFlag, ",")
+	}
+	rep, err := swiftest.RunCampaign(context.Background(), cfg)
+	if err != nil {
+		return err
+	}
+	if *jsonOut == "-" {
+		return rep.WriteJSON(os.Stdout)
+	}
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "campaign report written to %s\n", *jsonOut)
+	}
+	return rep.WriteTable(os.Stdout)
+}
+
+func profilesCmd(args []string) error {
+	fs := flag.NewFlagSet("profiles", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	for _, name := range swiftest.Profiles() {
+		p, err := swiftest.LookupProfile(name)
+		if err != nil {
+			return err
+		}
+		states := make([]string, 0, len(p.States))
+		for _, s := range p.States {
+			states = append(states, fmt.Sprintf("%s(%gMbps/%gms)", s.Name, s.CapacityMbps, s.RTTMillis))
+		}
+		fmt.Printf("%-26s %-5s %s\n%-26s       states: %s\n", name, p.Tech, p.Description, "", strings.Join(states, " "))
+	}
 	return nil
 }

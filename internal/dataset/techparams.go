@@ -1,0 +1,35 @@
+package dataset
+
+import "time"
+
+// Per-technology base-RTT ranges observed in the measurement study (§3.1's
+// latency characterisation): the plausible propagation RTT of an access
+// link by technology, before queueing delay. This is the canonical table —
+// the experiment harness (package exper) draws scenario RTTs from it and
+// the RAN profile library (package ranprofile) fills defaulted state RTTs
+// from its midpoint, so profile and dataset tech parameters cannot drift
+// apart.
+var techRTTRanges = map[Tech]struct{ lo, hi time.Duration }{
+	Tech3G:   {80 * time.Millisecond, 160 * time.Millisecond},
+	Tech4G:   {35 * time.Millisecond, 65 * time.Millisecond},
+	Tech5G:   {18 * time.Millisecond, 40 * time.Millisecond},
+	TechWiFi: {8 * time.Millisecond, 30 * time.Millisecond},
+}
+
+// TechRTTRange reports the plausible base-RTT range for an access
+// technology. Unknown technologies report the WiFi range, the widest-reach
+// default.
+func TechRTTRange(tech Tech) (lo, hi time.Duration) {
+	r, ok := techRTTRanges[tech]
+	if !ok {
+		r = techRTTRanges[TechWiFi]
+	}
+	return r.lo, r.hi
+}
+
+// TechRTTMid reports the midpoint of the technology's base-RTT range — the
+// default state RTT for profile states that do not pin one explicitly.
+func TechRTTMid(tech Tech) time.Duration {
+	lo, hi := TechRTTRange(tech)
+	return lo + (hi-lo)/2
+}

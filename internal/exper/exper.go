@@ -43,16 +43,10 @@ type Scenario struct {
 	ShapedFraction float64
 }
 
-// rttRange returns the plausible base-RTT range per technology.
+// rttRange returns the plausible base-RTT range per technology, from the
+// canonical per-tech table in package dataset (shared with ranprofile).
 func rttRange(tech dataset.Tech) (lo, hi time.Duration) {
-	switch tech {
-	case dataset.Tech4G:
-		return 35 * time.Millisecond, 65 * time.Millisecond
-	case dataset.Tech5G:
-		return 18 * time.Millisecond, 40 * time.Millisecond
-	default: // WiFi
-		return 8 * time.Millisecond, 30 * time.Millisecond
-	}
+	return dataset.TechRTTRange(tech)
 }
 
 // Draw samples one link scenario.

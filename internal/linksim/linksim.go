@@ -50,6 +50,24 @@ type Dips struct {
 	Duration   time.Duration // dip length
 }
 
+// LinkState is the per-tick operating point of a multi-state link profile:
+// the base parameters a profile state machine (package ranprofile) hands the
+// emulator each tick. When a StateHook is installed these values replace the
+// static CapacityMbps/RTT/LossRate/Fluctuation fields of Config, so one link
+// can fade, hand over, sleep and recover mid-test.
+type LinkState struct {
+	// Name labels the state ("good", "fade", "handover", ...) for traces.
+	Name string
+	// CapacityMbps is the bottleneck capacity while this state holds.
+	CapacityMbps float64
+	// RTT is the base propagation RTT while this state holds.
+	RTT time.Duration
+	// LossRate is the per-tick spurious loss probability in this state.
+	LossRate float64
+	// Fluctuation is the relative capacity-noise s.d. in this state.
+	Fluctuation float64
+}
+
 // Config describes an emulated access link.
 type Config struct {
 	// CapacityMbps is the base bottleneck capacity of the access link.
@@ -77,14 +95,32 @@ type Config struct {
 	// BackgroundFlows adds contending always-on flows that consume a fair
 	// share of the link, modelling other users on the same BS/AP sector.
 	BackgroundFlows int
+	// StateHook, if non-nil, drives the link from a multi-state profile:
+	// it is evaluated once per tick (with the current virtual time) and the
+	// returned LinkState overrides CapacityMbps, RTT, LossRate and
+	// Fluctuation for that tick. With a hook installed those four static
+	// fields become optional. Hooks must be deterministic functions of the
+	// evaluation time for seeded reruns to replay byte-identically.
+	StateHook func(at time.Duration) LinkState
+	// Impair, if non-nil, is a link-wide fault hook evaluated once per tick
+	// and merged into every flow's own impairment: Down silences the whole
+	// access link, LossProb burst-drops every flow, CapMbps clamps each
+	// flow's offered rate. It lets one fault plan hit baselines and probes
+	// that open flows internally, modelling RAN-side (not server-side)
+	// faults.
+	Impair func(at time.Duration) Impairment
 }
 
 func (c Config) validate() error {
-	if c.CapacityMbps <= 0 {
-		return fmt.Errorf("linksim: capacity %g Mbps must be positive", c.CapacityMbps)
-	}
-	if c.RTT <= 0 {
-		return fmt.Errorf("linksim: RTT %v must be positive", c.RTT)
+	// With a profile state machine attached the per-tick LinkState supplies
+	// capacity and RTT, so the static fields may stay zero.
+	if c.StateHook == nil {
+		if c.CapacityMbps <= 0 {
+			return fmt.Errorf("linksim: capacity %g Mbps must be positive", c.CapacityMbps)
+		}
+		if c.RTT <= 0 {
+			return fmt.Errorf("linksim: RTT %v must be positive", c.RTT)
+		}
 	}
 	if c.LossRate < 0 || c.LossRate >= 1 {
 		return fmt.Errorf("linksim: loss rate %g out of [0,1)", c.LossRate)
@@ -103,6 +139,8 @@ type Link struct {
 	shapedMB   float64       // cumulative traffic counted against the shaper burst
 	dipUntil   time.Duration // episodic dip active until this virtual time
 	background *Flow         // aggregate stand-in for background users, nil if none
+	state      LinkState     // current profile state, valid when haveState
+	haveState  bool          // a StateHook has been evaluated at least once
 
 	effScratch []float64    // per-tick effective offered rates, reused across Advance calls
 	impScratch []Impairment // per-tick impairment states, reused across Advance calls
@@ -117,6 +155,13 @@ func New(cfg Config, seed int64) (*Link, error) {
 		cfg.BufferBDP = 1
 	}
 	l := &Link{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+	if cfg.StateHook != nil {
+		// Prime the state so capacity and RTT are defined before the first
+		// Advance (Flow.RTT, buffer sizing). Hooks are deterministic in the
+		// evaluation time, so Advance re-reading tick 0 sees the same state.
+		l.state = cfg.StateHook(0)
+		l.haveState = true
+	}
 	if cfg.BackgroundFlows > 0 {
 		l.background = l.NewFlow()
 	}
@@ -138,8 +183,42 @@ func (l *Link) Now() time.Duration { return l.now }
 // Config returns the link's configuration.
 func (l *Link) Config() Config { return l.cfg }
 
-// BaseRTT reports the configured propagation RTT.
-func (l *Link) BaseRTT() time.Duration { return l.cfg.RTT }
+// BaseRTT reports the current propagation RTT: the active profile state's
+// RTT when a StateHook drives the link, the configured RTT otherwise.
+func (l *Link) BaseRTT() time.Duration {
+	if l.haveState {
+		return l.state.RTT
+	}
+	return l.cfg.RTT
+}
+
+// State reports the active profile state; ok is false when no StateHook
+// drives the link.
+func (l *Link) State() (state LinkState, ok bool) { return l.state, l.haveState }
+
+// baseCapacity is the pre-noise bottleneck capacity this tick.
+func (l *Link) baseCapacity() float64 {
+	if l.haveState {
+		return l.state.CapacityMbps
+	}
+	return l.cfg.CapacityMbps
+}
+
+// fluctuationNow is the capacity-noise s.d. this tick.
+func (l *Link) fluctuationNow() float64 {
+	if l.haveState {
+		return l.state.Fluctuation
+	}
+	return l.cfg.Fluctuation
+}
+
+// lossRateNow is the spurious per-tick loss probability this tick.
+func (l *Link) lossRateNow() float64 {
+	if l.haveState {
+		return l.state.LossRate
+	}
+	return l.cfg.LossRate
+}
 
 // Flow is one traffic flow over a Link. A sender (congestion-control model or
 // UDP pacer) sets the flow's offered rate each tick; the link reports what
@@ -175,6 +254,21 @@ type Impairment struct {
 // SetImpairment attaches a fault hook queried once per tick at the current
 // virtual time, before capacity is shared. A nil hook clears it.
 func (f *Flow) SetImpairment(h func(at time.Duration) Impairment) { f.impair = h }
+
+// mergeImpairments combines the link-wide fault state with one flow's own:
+// blackout wins, loss probabilities take the worse of the two, and rate caps
+// take the tighter positive clamp.
+func mergeImpairments(link, flow Impairment) Impairment {
+	out := Impairment{
+		Down:     link.Down || flow.Down,
+		LossProb: math.Max(link.LossProb, flow.LossProb),
+		CapMbps:  link.CapMbps,
+	}
+	if flow.CapMbps > 0 && (out.CapMbps <= 0 || flow.CapMbps < out.CapMbps) {
+		out.CapMbps = flow.CapMbps
+	}
+	return out
+}
 
 // impairmentNow evaluates the flow's hook at the link's current time.
 func (f *Flow) impairmentNow(at time.Duration) Impairment {
@@ -219,10 +313,10 @@ func (f *Flow) LossSignal() bool { return f.lost }
 func (f *Flow) RTT() time.Duration {
 	cap := f.link.capacityNow()
 	if cap <= 0 {
-		return f.link.cfg.RTT
+		return f.link.BaseRTT()
 	}
 	queueDelay := time.Duration(f.link.queueBits / (cap * 1e6) * float64(time.Second))
-	return f.link.cfg.RTT + queueDelay
+	return f.link.BaseRTT() + queueDelay
 }
 
 // Close detaches the flow from the link; subsequent ticks deliver nothing.
@@ -243,7 +337,7 @@ func (f *Flow) Close() {
 
 // capacityNow computes the link's instantaneous capacity before fair sharing.
 func (l *Link) capacityNow() float64 {
-	cap := l.cfg.CapacityMbps * (1 + l.noise)
+	cap := l.baseCapacity() * (1 + l.noise)
 	if l.cfg.CapacityFactor != nil {
 		cap *= l.cfg.CapacityFactor(l.now)
 	}
@@ -262,14 +356,24 @@ func (l *Link) capacityNow() float64 {
 // Advance moves virtual time forward by one Tick, allocating capacity to
 // flows max-min fairly and updating queue and loss state.
 func (l *Link) Advance() {
+	// A profile state machine, when installed, redefines the link's base
+	// parameters for this tick before anything else is computed.
+	if l.cfg.StateHook != nil {
+		l.state = l.cfg.StateHook(l.now)
+		l.haveState = true
+	}
 	// Evolve the AR(1) fluctuation state: ρ·prev + √(1−ρ²)·σ·ε keeps the
-	// stationary s.d. at cfg.Fluctuation while correlating adjacent ticks.
+	// stationary s.d. at the configured fluctuation while correlating
+	// adjacent ticks. A calm profile state (σ = 0) decays residual noise
+	// instead of freezing it.
 	const rho = 0.9
-	if l.cfg.Fluctuation > 0 {
-		l.noise = rho*l.noise + math.Sqrt(1-rho*rho)*l.cfg.Fluctuation*l.rng.NormFloat64()
+	if sigma := l.fluctuationNow(); sigma > 0 {
+		l.noise = rho*l.noise + math.Sqrt(1-rho*rho)*sigma*l.rng.NormFloat64()
 		if l.noise < -0.9 {
 			l.noise = -0.9
 		}
+	} else if l.noise != 0 {
+		l.noise *= rho
 	}
 	// Start episodic dips (Poisson arrivals).
 	if d := l.cfg.Dipping; d != nil && l.now >= l.dipUntil {
@@ -279,11 +383,15 @@ func (l *Link) Advance() {
 	}
 	// Background users contend for their fair share at full demand.
 	if l.background != nil {
-		l.background.offered = l.cfg.CapacityMbps * float64(l.cfg.BackgroundFlows)
+		l.background.offered = l.baseCapacity() * float64(l.cfg.BackgroundFlows)
 	}
 
-	// Evaluate per-flow impairments (the fault-injection hook) and derive
-	// the effective offered rates the link actually sees this tick.
+	// Evaluate the link-wide fault hook once, then per-flow impairments,
+	// and derive the effective offered rates the link sees this tick.
+	var linkImp Impairment
+	if l.cfg.Impair != nil {
+		linkImp = l.cfg.Impair(l.now)
+	}
 	if cap(l.effScratch) < len(l.flows) {
 		l.effScratch = make([]float64, len(l.flows))
 		l.impScratch = make([]Impairment, len(l.flows))
@@ -291,7 +399,7 @@ func (l *Link) Advance() {
 	eff := l.effScratch[:len(l.flows)]
 	imps := l.impScratch[:len(l.flows)]
 	for i, f := range l.flows {
-		imp := f.impairmentNow(l.now)
+		imp := mergeImpairments(linkImp, f.impairmentNow(l.now))
 		imps[i] = imp
 		eff[i] = f.offered
 		if imp.Down {
@@ -318,7 +426,7 @@ func (l *Link) Advance() {
 		deliveredBits := granted * 1e6 * tickSec
 		f.bits += deliveredBits
 		offeredSum += eff[i]
-		if l.cfg.LossRate > 0 && eff[i] > 0 && l.rng.Float64() < l.cfg.LossRate {
+		if lr := l.lossRateNow(); lr > 0 && eff[i] > 0 && l.rng.Float64() < lr {
 			f.lost = true
 		}
 	}
@@ -334,7 +442,7 @@ func (l *Link) Advance() {
 			l.queueBits = 0
 		}
 	}
-	bufferBits := l.cfg.BufferBDP * l.cfg.CapacityMbps * 1e6 * l.cfg.RTT.Seconds()
+	bufferBits := l.cfg.BufferBDP * l.baseCapacity() * 1e6 * l.BaseRTT().Seconds()
 	if l.queueBits > bufferBits {
 		l.queueBits = bufferBits
 		for i, f := range l.flows {
@@ -454,6 +562,12 @@ func (s *Sampler) Take() float64 {
 func SleepingFactor(startHour, endHour int, factor float64, originHour float64) func(time.Duration) float64 {
 	return func(at time.Duration) float64 {
 		h := math.Mod(originHour+at.Hours(), 24)
+		if h < 0 {
+			// math.Mod keeps the sign of its dividend, so a negative origin
+			// hour (e.g. "one hour before midnight" written as -1) would
+			// otherwise sit outside [0,24) and miss every window.
+			h += 24
+		}
 		inWindow := false
 		if startHour <= endHour {
 			inWindow = h >= float64(startHour) && h < float64(endHour)

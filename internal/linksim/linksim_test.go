@@ -436,3 +436,72 @@ func TestNoImpairmentMatchesBaselineExactly(t *testing.T) {
 		t.Errorf("a zero-impairment hook changed delivery: %.0f vs %.0f", a, b)
 	}
 }
+
+// TestSleepingFactorNegativeOriginWrap is the regression for the hour
+// normalisation: math.Mod keeps the dividend's sign, so an origin written as
+// "one hour before midnight" (-1) used to evaluate to h = -1 and fall
+// outside every window, silently disabling the sleeping schedule.
+func TestSleepingFactorNegativeOriginWrap(t *testing.T) {
+	// Sleeping 23:00–06:00 at factor 0.6, origin one hour before midnight.
+	fac := SleepingFactor(23, 6, 0.6, -1)
+	if got := fac(0); got != 0.6 { // hour 23: asleep
+		t.Errorf("factor(23h) = %g, want 0.6 (negative origin missed the window)", got)
+	}
+	if got := fac(3 * time.Hour); got != 0.6 { // hour 2: asleep
+		t.Errorf("factor(2h) = %g, want 0.6", got)
+	}
+	if got := fac(8 * time.Hour); got != 1 { // hour 7: awake
+		t.Errorf("factor(7h) = %g, want 1", got)
+	}
+	// A deeply negative origin must land in the same place as its positive
+	// residue: -25h ≡ 23h (mod 24).
+	deep := SleepingFactor(23, 6, 0.6, -25)
+	for _, at := range []time.Duration{0, 3 * time.Hour, 8 * time.Hour, 30 * time.Hour} {
+		if a, b := deep(at), fac(at); a != b {
+			t.Errorf("origin -25 vs -1 disagree at %v: %g vs %g", at, a, b)
+		}
+	}
+}
+
+// TestStateHookDrivesLink pins the StateHook contract: the hook's capacity
+// bounds what a saturating flow achieves, its RTT shows through BaseRTT, and
+// State() reports the active profile state by name.
+func TestStateHookDrivesLink(t *testing.T) {
+	good := LinkState{Name: "good", CapacityMbps: 80, RTT: 30 * time.Millisecond}
+	fade := LinkState{Name: "fade", CapacityMbps: 10, RTT: 90 * time.Millisecond}
+	hook := func(at time.Duration) LinkState {
+		if at < 500*time.Millisecond {
+			return good
+		}
+		return fade
+	}
+	l := MustNew(Config{StateHook: hook}, 7)
+	if st, ok := l.State(); !ok || st.Name != "good" {
+		t.Fatalf("initial state = %+v ok=%v, want good", st, ok)
+	}
+	if got := l.BaseRTT(); got != good.RTT {
+		t.Errorf("initial BaseRTT = %v, want %v", got, good.RTT)
+	}
+
+	f := l.NewFlow()
+	f.SetOffered(1000)
+	l.RunFor(500 * time.Millisecond)
+	goodBytes := f.DeliveredBytes()
+	wantGood := 80e6 * 0.5 / 8
+	if math.Abs(goodBytes-wantGood) > wantGood*0.05 {
+		t.Errorf("good-state delivery = %.0f bytes, want ≈%.0f", goodBytes, wantGood)
+	}
+
+	l.RunFor(500 * time.Millisecond)
+	if st, ok := l.State(); !ok || st.Name != "fade" {
+		t.Fatalf("state after 1s = %+v ok=%v, want fade", st, ok)
+	}
+	if got := l.BaseRTT(); got != fade.RTT {
+		t.Errorf("fade BaseRTT = %v, want %v", got, fade.RTT)
+	}
+	fadeBytes := f.DeliveredBytes() - goodBytes
+	wantFade := 10e6 * 0.5 / 8
+	if math.Abs(fadeBytes-wantFade) > wantFade*0.10 {
+		t.Errorf("fade-state delivery = %.0f bytes, want ≈%.0f", fadeBytes, wantFade)
+	}
+}

@@ -110,3 +110,32 @@ func DrainAll(sessions map[int][]int) []int {
 `,
 	})
 }
+
+// TestMaporderCoversRanprofile: profile transition tables are maps; ranging
+// one into an ordered sink would make chain compilation order-dependent.
+func TestMaporderCoversRanprofile(t *testing.T) {
+	runFixture(t, Maporder, "example.com/internal/ranprofile", map[string]string{
+		"compile.go": `package ranprofile
+
+type edge struct{ to string }
+
+func BadCompile(transitions map[string]float64) []edge {
+	var out []edge
+	for to := range transitions {
+		out = append(out, edge{to: to}) // want "append to out inside a range over a map"
+	}
+	return out
+}
+
+func GoodCompile(order []string, transitions map[string]float64) []edge {
+	var out []edge
+	for _, to := range order {
+		if _, ok := transitions[to]; ok {
+			out = append(out, edge{to: to})
+		}
+	}
+	return out
+}
+`,
+	})
+}

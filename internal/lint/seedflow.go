@@ -46,6 +46,7 @@ var seedflowPackageSuffixes = []string{
 	"internal/linksim",
 	"internal/deploy",
 	"internal/core",
+	"internal/ranprofile",
 }
 
 // globalRandFuncs are the package-level math/rand functions that draw from

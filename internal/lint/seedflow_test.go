@@ -74,3 +74,27 @@ func EntropyForLiveIDs() int {
 `,
 	})
 }
+
+// TestSeedflowCoversRanprofile: the RAN profile library is in the enforced
+// deterministic set — a global rand call or hard-coded seed in a profile
+// state machine would silently break (profile, seed) replay.
+func TestSeedflowCoversRanprofile(t *testing.T) {
+	runFixture(t, Seedflow, "example.com/internal/ranprofile", map[string]string{
+		"machine.go": `package ranprofile
+
+import "math/rand"
+
+func BadGlobal() float64 {
+	return rand.Float64() // want "global math/rand source call rand.Float64"
+}
+
+func BadHardcoded() *rand.Rand {
+	return rand.New(rand.NewSource(7)) // want "hard-coded rand seed"
+}
+
+func GoodSeeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+`,
+	})
+}

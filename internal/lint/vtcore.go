@@ -34,6 +34,7 @@ var vtCorePackageSuffixes = []string{
 	"internal/faults",
 	"internal/fleet",
 	"internal/loadgen",
+	"internal/ranprofile",
 }
 
 func runVTCore(pass *Pass) error {

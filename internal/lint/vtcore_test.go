@@ -110,3 +110,18 @@ func Drive() { // want "parks in time.Sleep"
 `,
 	})
 }
+
+// TestVTCoreCoversRanprofile: the RAN profile state machine runs in virtual
+// time; a walltime opt-out inside it is itself the diagnostic.
+func TestVTCoreCoversRanprofile(t *testing.T) {
+	runFixture(t, VTCore, "example.com/internal/ranprofile", map[string]string{
+		"machine.go": `package ranprofile
+
+import "time"
+
+func Bad() time.Time {
+	return time.Now() //lint:allow walltime expedient // want "inside virtual-time core package"
+}
+`,
+	})
+}

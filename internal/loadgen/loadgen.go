@@ -37,6 +37,7 @@ import (
 	"github.com/mobilebandwidth/swiftest/internal/fleet"
 	"github.com/mobilebandwidth/swiftest/internal/linksim"
 	"github.com/mobilebandwidth/swiftest/internal/obs"
+	"github.com/mobilebandwidth/swiftest/internal/ranprofile"
 	"github.com/mobilebandwidth/swiftest/internal/stats"
 )
 
@@ -92,6 +93,12 @@ type Config struct {
 	// stream.
 	Metrics *obs.Registry
 	Trace   *obs.Trace
+	// Profile, when non-nil, drives every server uplink through the RAN
+	// scenario's state machine (independently seeded per server), with the
+	// profile's relative capacity shape scaled so each server's planned
+	// uplink is its best-state capacity. State dwell and handover
+	// instruments land on Metrics.
+	Profile *ranprofile.Profile
 }
 
 // ServerReport is one server's share of a run.
@@ -176,11 +183,29 @@ func Run(ctx context.Context, cfg Config) (Report, error) {
 	peakSessions := make([]int, len(infos))
 	delivered := make([]float64, len(infos))
 	for i, s := range infos {
-		links[i], err = linksim.New(linksim.Config{
+		linkCfg := linksim.Config{
 			CapacityMbps: s.UplinkMbps,
 			RTT:          20 * time.Millisecond,
 			Fluctuation:  0.05,
-		}, int64(mix(cfg.Seed, uint64(i))))
+		}
+		linkSeed := int64(mix(cfg.Seed, uint64(i)))
+		if cfg.Profile != nil {
+			// Scale the profile's relative shape to this server's planned
+			// uplink: its best state delivers the full uplink, fades and
+			// handovers cut it proportionally.
+			nominal := cfg.Profile.NominalCapacityMbps()
+			uplink := s.UplinkMbps
+			machine := ranprofile.NewMachine(cfg.Profile, linkSeed, ranprofile.MachineOptions{
+				Metrics: ranprofile.NewLinkMetrics(cfg.Metrics),
+			})
+			at := machine.At
+			linkCfg = linksim.Config{StateHook: func(t time.Duration) linksim.LinkState {
+				st := at(t)
+				st.CapacityMbps = uplink * st.CapacityMbps / nominal
+				return st
+			}}
+		}
+		links[i], err = linksim.New(linkCfg, linkSeed)
 		if err != nil {
 			return Report{}, fmt.Errorf("loadgen: server %d link: %w", i, err)
 		}

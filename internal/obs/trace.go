@@ -34,6 +34,14 @@ const (
 	EventError         = "error"           // note = error text
 )
 
+// Trace kinds emitted by the RAN profile state machine (package
+// ranprofile). Timestamps are caller-stamped virtual time, like every other
+// event.
+const (
+	EventLinkStateChange = "link_state_change" // value = new state capacity (Mbps), aux = dwell of the left state (s), note = "from->to"
+	EventHandover        = "handover"          // value = new cell capacity factor, aux = new cell RTT factor, note = profile name
+)
+
 // Trace kinds emitted by the fleet dispatch control plane.
 const (
 	EventAssign     = "assign"      // value = client key, aux = server load (sessions), note = server address

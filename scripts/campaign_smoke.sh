@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Scenario campaign smoke: the RAN profile sweep must cover the whole
+# embedded library against multiple algorithms and fault plans, the
+# swiftest-campaign-report/v1 JSON must be byte-identical across reruns and
+# worker counts, and the throughput emitter must produce BENCH_scenarios.json.
+set -euo pipefail
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+# --- Leg 1: benchmark emitter ------------------------------------------------
+# The emitter sweeps the full profile library in virtual time and writes the
+# machine-readable throughput report CI archives.
+BENCH_SCENARIOS_OUT="$WORK/BENCH_scenarios.json" \
+  go test -run TestEmitBenchScenarios .
+
+[ -s "$WORK/BENCH_scenarios.json" ] || {
+  echo "BENCH_scenarios.json was not written" >&2
+  exit 1
+}
+cat "$WORK/BENCH_scenarios.json"
+
+field() {
+  grep -o "\"$1\": [0-9.]*" "$WORK/BENCH_scenarios.json" | awk '{print $2}'
+}
+
+profiles="$(field profiles)"
+algs="$(field algorithms)"
+plans="$(field fault_plans)"
+awk -v p="$profiles" -v a="$algs" -v f="$plans" \
+  'BEGIN { exit (p >= 8 && a >= 2 && f >= 2) ? 0 : 1 }' || {
+  echo "campaign sweep too small: $profiles profiles x $algs algs x $plans fault plans, want >=8 x >=2 x >=2" >&2
+  exit 1
+}
+echo "campaign bench gate passed: $profiles profiles x $algs algs x $plans fault plans"
+
+# --- Leg 2: CLI determinism --------------------------------------------------
+# The same (config, seed) must produce byte-identical reports regardless of
+# worker count — the whole point of the fixed cell list + per-cell seeding.
+go build -o "$WORK/swiftest" ./cmd/swiftest
+
+"$WORK/swiftest" campaign -runs 1 -seed 42 -workers 1 -json "$WORK/w1.json" \
+  > "$WORK/table.txt"
+"$WORK/swiftest" campaign -runs 1 -seed 42 -workers 8 -json "$WORK/w8.json" \
+  > /dev/null
+"$WORK/swiftest" campaign -runs 1 -seed 42 -workers 8 -json "$WORK/w8b.json" \
+  > /dev/null
+
+cmp "$WORK/w1.json" "$WORK/w8.json" || {
+  echo "campaign report differs between -workers 1 and -workers 8" >&2
+  exit 1
+}
+cmp "$WORK/w8.json" "$WORK/w8b.json" || {
+  echo "campaign report differs across reruns at the same worker count" >&2
+  exit 1
+}
+
+grep -q '"schema": "swiftest-campaign-report/v1"' "$WORK/w1.json" || {
+  echo "campaign JSON is missing the swiftest-campaign-report/v1 schema tag" >&2
+  exit 1
+}
+grep -q 'PROFILE' "$WORK/table.txt" || {
+  echo "campaign table output is missing its header" >&2
+  exit 1
+}
+
+# A different seed must actually change the report — determinism, not a
+# constant function.
+"$WORK/swiftest" campaign -runs 1 -seed 43 -workers 8 -json "$WORK/seed43.json" \
+  > /dev/null
+if cmp -s "$WORK/w8.json" "$WORK/seed43.json"; then
+  echo "campaign report is identical across different seeds — seeding is dead" >&2
+  exit 1
+fi
+
+echo "campaign smoke passed: full-library sweep, byte-identical across workers and reruns, seed-sensitive"

@@ -9,6 +9,7 @@ import (
 	"github.com/mobilebandwidth/swiftest/internal/core"
 	"github.com/mobilebandwidth/swiftest/internal/emu"
 	"github.com/mobilebandwidth/swiftest/internal/linksim"
+	"github.com/mobilebandwidth/swiftest/internal/ranprofile"
 )
 
 // LinkConfig describes an emulated mobile access link for virtual-time
@@ -30,6 +31,14 @@ type LinkConfig struct {
 	ShapingMbps    float64
 	// Seed makes the emulation deterministic.
 	Seed int64
+	// Profile, when non-nil, drives the link through a RAN scenario's
+	// state machine seeded from Seed — every runner that accepts a
+	// LinkConfig (SimulateTest, RunBTSApp, RunFAST, RunFastBTS,
+	// RunTCPSwiftest) then sees the same replayable state chain, so
+	// baselines and Swiftest are comparable on identical dynamics.
+	// CapacityMbps and RTT are ignored while a profile drives the link.
+	// SimulateOptions.Profile, when also set, takes precedence.
+	Profile *Profile
 }
 
 func (c LinkConfig) toInternal() linksim.Config {
@@ -46,6 +55,23 @@ func (c LinkConfig) toInternal() linksim.Config {
 		cfg.Shaping = &linksim.Shaper{BurstMB: c.ShapingBurstMB, SustainedMbps: c.ShapingMbps}
 	}
 	return cfg
+}
+
+// newLink builds the emulated link, installing the profile state machine
+// when one drives it. profile overrides c.Profile when non-nil.
+func (c LinkConfig) newLink(profile *Profile, trace *Trace, metrics *MetricsRegistry) (*linksim.Link, error) {
+	cfg := c.toInternal()
+	if profile == nil {
+		profile = c.Profile
+	}
+	if profile != nil {
+		machine := ranprofile.NewMachine(profile, c.Seed, ranprofile.MachineOptions{
+			Trace:   trace,
+			Metrics: ranprofile.NewLinkMetrics(metrics),
+		})
+		cfg.StateHook = machine.Hook()
+	}
+	return linksim.New(cfg, c.Seed)
 }
 
 // SimulateTest runs one Swiftest bandwidth test on an emulated access link
@@ -84,6 +110,13 @@ type SimulateOptions struct {
 	// emulated server session is declared lost; zero selects the default
 	// (4 windows = 200 ms), matching the live client.
 	LostAfter int
+	// Profile, when non-nil, drives the emulated link through a RAN
+	// scenario's state machine seeded from link.Seed: capacity, RTT, loss
+	// and jitter follow the chain's states, and mid-test handovers durably
+	// swap the cell. The static LinkConfig capacity/RTT become optional and
+	// are ignored while the profile drives the link. State changes and
+	// handovers appear in Trace, dwell/handover instruments in Metrics.
+	Profile *Profile
 }
 
 // SimulateTestObserved is SimulateTest with options attached: the emulator
@@ -105,7 +138,7 @@ func SimulateTestContext(ctx context.Context, link LinkConfig, model *Model, opt
 	if err := opts.Faults.Validate(); err != nil {
 		return Result{}, err
 	}
-	l, err := linksim.New(link.toInternal(), link.Seed)
+	l, err := link.newLink(opts.Profile, opts.Trace, opts.Metrics)
 	if err != nil {
 		return Result{}, err
 	}
@@ -113,6 +146,12 @@ func SimulateTestContext(ctx context.Context, link LinkConfig, model *Model, opt
 		opts.Trace.SetMeta("source", "sim")
 		opts.Trace.SetMeta("capacity_mbps", strconv.FormatFloat(link.CapacityMbps, 'g', -1, 64))
 		opts.Trace.SetMeta("seed", strconv.FormatInt(link.Seed, 10))
+		if profile := opts.Profile; profile != nil || link.Profile != nil {
+			if profile == nil {
+				profile = link.Profile
+			}
+			opts.Trace.SetMeta("profile", profile.Name)
+		}
 	}
 	var probe interface {
 		core.Probe
@@ -170,7 +209,7 @@ func fromBaseline(name string, r baseline.Report) BaselineReport {
 // multi-connection TCP download with Speedtest-style trimming) on an
 // emulated link.
 func RunBTSApp(link LinkConfig) (BaselineReport, error) {
-	l, err := linksim.New(link.toInternal(), link.Seed)
+	l, err := link.newLink(nil, nil, nil)
 	if err != nil {
 		return BaselineReport{}, err
 	}
@@ -180,7 +219,7 @@ func RunBTSApp(link LinkConfig) (BaselineReport, error) {
 // RunFAST runs the fast.com-style stability-stop baseline on an emulated
 // link.
 func RunFAST(link LinkConfig) (BaselineReport, error) {
-	l, err := linksim.New(link.toInternal(), link.Seed)
+	l, err := link.newLink(nil, nil, nil)
 	if err != nil {
 		return BaselineReport{}, err
 	}
@@ -190,7 +229,7 @@ func RunFAST(link LinkConfig) (BaselineReport, error) {
 // RunFastBTS runs the FastBTS crucial-interval baseline (NSDI '21) on an
 // emulated link.
 func RunFastBTS(link LinkConfig) (BaselineReport, error) {
-	l, err := linksim.New(link.toInternal(), link.Seed)
+	l, err := link.newLink(nil, nil, nil)
 	if err != nil {
 		return BaselineReport{}, err
 	}
@@ -201,7 +240,7 @@ func RunFastBTS(link LinkConfig) (BaselineReport, error) {
 // emulated link: jump-started congestion window, mode escalation, and
 // loss-responsive multiplicative decrease that retains TCP fairness.
 func RunTCPSwiftest(link LinkConfig, model *Model) (BaselineReport, error) {
-	l, err := linksim.New(link.toInternal(), link.Seed)
+	l, err := link.newLink(nil, nil, nil)
 	if err != nil {
 		return BaselineReport{}, err
 	}
