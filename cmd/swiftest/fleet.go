@@ -30,6 +30,9 @@ type assignResponse struct {
 	LeaseServer int                  `json:"lease_server"`
 	LeaseSeq    uint64               `json:"lease_seq"`
 	Servers     []swiftest.ServerAddr `json:"servers"`
+	// Token is the hex session auth token minted for this lease; empty on
+	// open (unkeyed) fleets. Clients present it at v2 session setup.
+	Token string `json:"token,omitempty"`
 }
 
 type registerResponse struct {
@@ -44,6 +47,7 @@ func dispatch(args []string) error {
 	planPath := fs.String("plan", "", "deployment-plan artifact from `deployplan -json` (required)")
 	perTest := fs.Float64("pertest", 5, "per-test bandwidth reservation (Mbps) for admission caps")
 	window := fs.Duration("window", 0, "heartbeat liveness window (0 selects the 500ms default)")
+	authKey := fs.Uint64("authkey", 0, "fleet auth key; non-zero mints a session token per lease (give servers the same -authkey)")
 	verbose := fs.Bool("v", false, "log assignments, rejections, drains, and server deaths")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -59,6 +63,7 @@ func dispatch(args []string) error {
 	d, err := swiftest.NewFleetDispatcherFromArtifact(art, swiftest.FleetConfig{
 		PerTestMbps:     *perTest,
 		HeartbeatWindow: *window,
+		AuthKey:         *authKey,
 		Metrics:         metrics,
 	})
 	if err != nil {
@@ -115,7 +120,11 @@ func dispatch(args []string) error {
 			return
 		}
 		logf("assign client=%d server=%d addr=%s pool=%d", key, a.Lease.Server, pool[0].Addr, len(pool))
-		writeJSON(w, assignResponse{LeaseServer: a.Lease.Server, LeaseSeq: a.Lease.Seq, Servers: pool})
+		out := assignResponse{LeaseServer: a.Lease.Server, LeaseSeq: a.Lease.Seq, Servers: pool}
+		if !a.Token.IsZero() {
+			out.Token = a.Token.String()
+		}
+		writeJSON(w, out)
 	})
 	mux.HandleFunc("/release", func(w http.ResponseWriter, r *http.Request) {
 		q := r.URL.Query()

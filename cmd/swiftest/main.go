@@ -63,6 +63,8 @@ func main() {
 		err = campaign(os.Args[2:])
 	case "profiles":
 		err = profilesCmd(os.Args[2:])
+	case "token":
+		err = tokenCmd(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -91,6 +93,7 @@ commands:
   loadgen     rehearse a deployment plan under diurnal load in virtual time
   campaign    sweep RAN profiles x algorithms x fault plans in virtual time
   profiles    list the built-in RAN scenario profile library
+  token       mint a session auth token for a keyed deployment
 
 run "swiftest <command> -h" for command flags.
 `)
@@ -106,12 +109,13 @@ func serve(args []string) error {
 	register := fs.String("register", "", "fleet dispatch URL to register with and heartbeat (empty disables)")
 	domain := fs.String("domain", "", "IXP domain to report when registering with a dispatcher")
 	wireMode := fs.String("wire", "auto", "wire send path: auto (batched syscalls + segmentation offload where available) or fallback (one datagram per syscall)")
+	authKey := fs.Uint64("authkey", 0, "fleet auth key; non-zero requires v2 clients to present a lease token minted under it")
 	verbose := fs.Bool("v", false, "log test activity")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	opts := swiftest.ServerOptions{UplinkMbps: *uplink, FaultServer: *faultServer}
+	opts := swiftest.ServerOptions{UplinkMbps: *uplink, FaultServer: *faultServer, AuthKey: *authKey}
 	switch *wireMode {
 	case "auto":
 		opts.Wire = swiftest.WireAuto
@@ -207,8 +211,23 @@ func test(args []string) error {
 	timeout := fs.Duration("timeout", 0, "hard deadline for the whole test including server selection (0 disables)")
 	asJSON := fs.Bool("json", false, "emit the result as JSON")
 	tracePath := fs.String("trace", "", "write a JSONL run-record of the test to this file")
+	protoFlag := fs.String("protocol", "auto", "wire protocol: auto (v2 with v1 fallback), v1, or v2")
+	tokenFlag := fs.String("token", "", "hex session auth token for a keyed deployment (minted by the dispatcher; implicit with -dispatch)")
+	regimeHint := fs.Bool("regime-hint", false, "feed the BDP-regime classifier back as a convergence hint")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	proto, err2 := swiftest.ParseProtocol(*protoFlag)
+	if err2 != nil {
+		return err2
+	}
+	var token swiftest.AuthToken
+	if *tokenFlag != "" {
+		t, err := swiftest.ParseAuthToken(*tokenFlag)
+		if err != nil {
+			return err
+		}
+		token = t
 	}
 
 	var pool []swiftest.ServerAddr
@@ -259,14 +278,24 @@ func test(args []string) error {
 			return err
 		}
 		pool = a.Servers
+		if *tokenFlag == "" && a.Token != "" {
+			t, err := swiftest.ParseAuthToken(a.Token)
+			if err != nil {
+				return fmt.Errorf("dispatcher sent a bad lease token: %w", err)
+			}
+			token = t
+		}
 		fmt.Fprintf(os.Stderr, "dispatched to %s (pool of %d)\n", pool[0].Addr, len(pool))
 		defer releaseAssignment(*dispatchURL, a)
 	}
 	res, err := swiftest.TestContext(ctx, swiftest.TestOptions{
-		Servers:     pool,
-		Model:       model,
-		MaxDuration: *maxDur,
-		Trace:       trace,
+		SessionOptions: swiftest.SessionOptions{Trace: trace},
+		Servers:        pool,
+		Model:          model,
+		MaxDuration:    *maxDur,
+		Protocol:       proto,
+		Token:          token,
+		RegimeHint:     *regimeHint,
 	})
 	if err != nil {
 		return err
@@ -283,6 +312,9 @@ func test(args []string) error {
 		return enc.Encode(res)
 	}
 	fmt.Printf("bandwidth : %.1f Mbps\n", res.BandwidthMbps)
+	fmt.Printf("estimates : trimmed %.1f, peak %.1f, p90-p80 %.1f Mbps (regime %s)\n",
+		res.Estimates.TrimmedMeanMbps, res.Estimates.SustainedPeakMbps, res.Estimates.P90P80Mbps, res.Regime)
+	fmt.Printf("protocol  : v%d\n", res.ProtocolVersion)
 	fmt.Printf("duration  : %v probing + %v server selection\n",
 		res.Duration.Round(time.Millisecond), res.SelectionTime.Round(time.Millisecond))
 	fmt.Printf("data used : %.1f MB over %d samples\n", res.DataMB, len(res.Samples))
@@ -325,7 +357,7 @@ func ping(args []string) error {
 	}
 	exit := error(nil)
 	for _, s := range pool {
-		rtt, err := swiftest.Ping(s.Addr, *count, *timeout)
+		rtt, err := swiftest.PingServer(context.Background(), swiftest.PingOptions{Addr: s.Addr, Count: *count, Timeout: *timeout})
 		if err != nil {
 			fmt.Printf("%-28s unreachable (%v)\n", s.Addr, err)
 			exit = fmt.Errorf("some servers unreachable")
@@ -395,7 +427,7 @@ func simulate(args []string) error {
 	if *tracePath != "" {
 		trace = swiftest.NewTrace(0)
 	}
-	simOpts := swiftest.SimulateOptions{Trace: trace}
+	simOpts := swiftest.SimulateOptions{SessionOptions: swiftest.SessionOptions{Trace: trace}}
 	if *faultsPath != "" {
 		plan, err := swiftest.LoadFaultPlan(*faultsPath)
 		if err != nil {
@@ -415,7 +447,7 @@ func simulate(args []string) error {
 			})
 		}
 	}
-	res, err := swiftest.SimulateTestObserved(link, model, simOpts)
+	res, err := swiftest.SimulateTestContext(context.Background(), link, model, simOpts)
 	if err != nil {
 		return err
 	}
@@ -427,6 +459,8 @@ func simulate(args []string) error {
 	}
 	fmt.Printf("swiftest : %.1f Mbps in %v, %.1f MB, converged=%v (%d escalations)\n",
 		res.BandwidthMbps, res.Duration, res.DataMB, res.Converged, res.RateChanges)
+	fmt.Printf("estimates: trimmed %.1f, peak %.1f, p90-p80 %.1f Mbps (regime %s)\n",
+		res.Estimates.TrimmedMeanMbps, res.Estimates.SustainedPeakMbps, res.Estimates.P90P80Mbps, res.Regime)
 	if res.ServersLost > 0 {
 		fmt.Printf("degraded : lost %d of %d servers mid-test and failed over\n",
 			res.ServersLost, res.ServersUsed)
@@ -570,6 +604,23 @@ func campaign(args []string) error {
 		fmt.Fprintf(os.Stderr, "campaign report written to %s\n", *jsonOut)
 	}
 	return rep.WriteTable(os.Stdout)
+}
+
+// tokenCmd mints a session auth token out-of-band — what the dispatcher does
+// per lease, exposed for keyed deployments running without a control plane.
+func tokenCmd(args []string) error {
+	fs := flag.NewFlagSet("token", flag.ExitOnError)
+	authKey := fs.Uint64("authkey", 0, "deployment auth key (must match the servers' -authkey)")
+	server := fs.Uint("server", 0, "server ID the token is bound to")
+	seq := fs.Uint64("seq", 1, "lease sequence number")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *authKey == 0 {
+		return fmt.Errorf("no auth key given (use -authkey; zero keys an open deployment, which needs no tokens)")
+	}
+	fmt.Println(swiftest.MintAuthToken(*authKey, uint32(*server), *seq).String())
+	return nil
 }
 
 func profilesCmd(args []string) error {

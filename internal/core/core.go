@@ -26,6 +26,7 @@ import (
 
 	"github.com/mobilebandwidth/swiftest/internal/baseline"
 	"github.com/mobilebandwidth/swiftest/internal/errdefs"
+	"github.com/mobilebandwidth/swiftest/internal/estimate"
 	"github.com/mobilebandwidth/swiftest/internal/gmm"
 	"github.com/mobilebandwidth/swiftest/internal/linksim"
 	"github.com/mobilebandwidth/swiftest/internal/obs"
@@ -40,6 +41,18 @@ type ServerHealth interface {
 	ServersUsed() int
 	// ServersLost is the number of sessions declared lost mid-test.
 	ServersLost() int
+}
+
+// RTTSampler is an optional Probe extension: probes with a delay source
+// (the emulated link's queue model, the live transport's transit-time
+// tracking) report the current round-trip time alongside each bandwidth
+// sample, enabling the joint (BW, RTT) trajectory capture behind the BDP
+// regime classification. Probes without one simply don't implement it; the
+// classifier then works from bandwidth alone.
+type RTTSampler interface {
+	// SampleRTT reports the round-trip time observed around the most recent
+	// bandwidth sample. ok is false when no observation is available yet.
+	SampleRTT() (rtt time.Duration, ok bool)
 }
 
 // Probe is the transport seam: the engine requests a probing data rate and
@@ -92,6 +105,13 @@ type Config struct {
 	// Metrics, when non-nil, aggregates test outcomes (convergence,
 	// duration, data volume, bandwidth) across runs.
 	Metrics *EngineMetrics
+	// RegimeHint, when true, feeds the mid-test BDP regime classification
+	// back into the engine: once the trajectory reads as traffic shaping or
+	// queue buildup, further rate escalation is suppressed — probing harder
+	// would only deepen the queue or drain the token bucket faster, not
+	// reveal more capacity. Off by default so seeded experiment digests are
+	// reproducible against earlier releases.
+	RegimeHint bool
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -132,6 +152,16 @@ type Result struct {
 	ServersUsed int           // server sessions opened (0 when the probe has no server accounting)
 	ServersLost int           // server sessions declared dead mid-test
 	Degraded    bool          // true when the test survived losing at least one server
+
+	// Estimates is the full estimator family computed over Samples; its
+	// CrossingMbps equals Bandwidth.
+	Estimates estimate.Estimates
+	// Trajectory is the joint (BW, RTT) evolution of the test; RTT is zero
+	// when the probe implements no RTTSampler.
+	Trajectory []estimate.TrajectoryPoint
+	// Regime classifies Trajectory (slow-start, queue-buildup, shaping,
+	// stable, unknown).
+	Regime estimate.Regime
 }
 
 // Run executes one bandwidth test over p using cfg. It is RunContext with a
@@ -167,6 +197,8 @@ func RunContext(ctx context.Context, p Probe, cfg Config) (Result, error) {
 
 	res := Result{InitialRate: initial}
 	settle := cfg.SettleSamples
+	rttSrc, _ := p.(RTTSampler)
+	hinted := estimate.RegimeUnknown // regime already fed back as a hint
 	for p.Elapsed() < cfg.MaxDuration {
 		s, ok := p.NextSample()
 		if err := ctx.Err(); err != nil {
@@ -183,6 +215,14 @@ func RunContext(ctx context.Context, p Probe, cfg Config) (Result, error) {
 		}
 		res.Samples = append(res.Samples, s)
 		cfg.Trace.Record(p.Elapsed(), obs.EventSample, s, rate, "")
+		pt := estimate.TrajectoryPoint{At: p.Elapsed(), Mbps: s}
+		if rttSrc != nil {
+			if rtt, ok := rttSrc.SampleRTT(); ok {
+				pt.RTT = rtt
+				cfg.Trace.Record(p.Elapsed(), obs.EventRTTSample, float64(rtt)/float64(time.Millisecond), s, "")
+			}
+		}
+		res.Trajectory = append(res.Trajectory, pt)
 		if settle > 0 {
 			settle--
 		}
@@ -202,10 +242,25 @@ func RunContext(ctx context.Context, p Probe, cfg Config) (Result, error) {
 			}
 		}
 
+		// Convergence hint: once the trajectory reads as shaping or queue
+		// buildup, escalating the probing rate cannot reveal more capacity —
+		// hold the rate and let the convergence window close the test.
+		holdRate := false
+		if cfg.RegimeHint {
+			switch r := estimate.ClassifyBDP(res.Trajectory); r {
+			case estimate.RegimeShaping, estimate.RegimeQueueBuildup:
+				holdRate = true
+				if r != hinted {
+					hinted = r
+					cfg.Trace.Record(p.Elapsed(), obs.EventRegimeHint, float64(r), 0, r.String())
+				}
+			}
+		}
+
 		// Saturation judgement: a sample at (or above) the probing rate
 		// means the probing rate, not the access link, is the bottleneck —
 		// escalate to the most probable larger mode.
-		if settle == 0 && s >= rate*(1-cfg.SaturationMargin) {
+		if settle == 0 && !holdRate && s >= rate*(1-cfg.SaturationMargin) {
 			next, ok := cfg.Model.NextLargerMode(rate)
 			var newRate float64
 			note := "mode"
@@ -246,6 +301,14 @@ func RunContext(ctx context.Context, p Probe, cfg Config) (Result, error) {
 		res.ServersUsed = h.ServersUsed()
 		res.ServersLost = h.ServersLost()
 		res.Degraded = res.ServersLost > 0 && res.ServersUsed > res.ServersLost
+	}
+	res.Estimates = estimate.Compute(res.Samples, res.Bandwidth)
+	res.Regime = estimate.ClassifyBDP(res.Trajectory)
+	if cfg.Trace != nil {
+		cfg.Trace.Record(res.Duration, obs.EventEstimate, res.Estimates.TrimmedMeanMbps, 0, "trimmed_mean")
+		cfg.Trace.Record(res.Duration, obs.EventEstimate, res.Estimates.SustainedPeakMbps, 0, "sustained_peak")
+		cfg.Trace.Record(res.Duration, obs.EventEstimate, res.Estimates.P90P80Mbps, 0, "p90_p80")
+		cfg.Trace.Record(res.Duration, obs.EventRegime, float64(res.Regime), 0, res.Regime.String())
 	}
 	cfg.Metrics.onFinish(res)
 	return res, nil
@@ -325,6 +388,10 @@ func (sp *SimProbe) NextSample() (float64, bool) {
 
 // Elapsed implements Probe.
 func (sp *SimProbe) Elapsed() time.Duration { return sp.link.Now() - sp.start }
+
+// SampleRTT implements RTTSampler: the emulated link's base RTT plus the
+// current bottleneck queueing delay.
+func (sp *SimProbe) SampleRTT() (time.Duration, bool) { return sp.flow.RTT(), true }
 
 // DataMB implements Probe: the data metered at the client — what actually
 // crossed its access link (overshoot beyond the bottleneck is dropped at the

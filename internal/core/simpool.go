@@ -248,6 +248,18 @@ func (sp *SimPoolProbe) DataMB() float64 {
 	return bits / 8 / 1e6
 }
 
+// SampleRTT implements RTTSampler: the RTT of the nearest open session's
+// flow (all pool flows share one access link, so any open flow sees the
+// same base RTT and queueing delay).
+func (sp *SimPoolProbe) SampleRTT() (time.Duration, bool) {
+	for _, s := range sp.servers {
+		if s.open {
+			return s.flow.RTT(), true
+		}
+	}
+	return 0, false
+}
+
 // ServersUsed implements ServerHealth.
 func (sp *SimPoolProbe) ServersUsed() int { return sp.used }
 

@@ -33,12 +33,23 @@ func TestTraceEmissionOverSimProbe(t *testing.T) {
 	if ev[0].Kind != obs.EventRateInit || ev[0].Value != res.InitialRate {
 		t.Errorf("first event = %+v, want rate_init at %g", ev[0], res.InitialRate)
 	}
+	// Schema v2: the record ends with the estimator family and the BDP
+	// regime, after the engine's converged event.
 	last := ev[len(ev)-1]
-	if last.Kind != obs.EventConverged || last.Value != res.Bandwidth {
-		t.Errorf("last event = %+v, want converged at %g", last, res.Bandwidth)
+	if last.Kind != obs.EventRegime || last.Note != res.Regime.String() {
+		t.Errorf("last event = %+v, want bdp_regime %q", last, res.Regime.String())
+	}
+	var converged *obs.Event
+	for i := range ev {
+		if ev[i].Kind == obs.EventConverged {
+			converged = &ev[i]
+		}
+	}
+	if converged == nil || converged.Value != res.Bandwidth {
+		t.Errorf("converged event = %+v, want value %g", converged, res.Bandwidth)
 	}
 
-	var samples, escalates, checks int
+	var samples, escalates, checks, estimates int
 	prevAt := time.Duration(-1)
 	for _, e := range ev {
 		if e.At < prevAt {
@@ -61,6 +72,8 @@ func TestTraceEmissionOverSimProbe(t *testing.T) {
 			if e.Aux != 0.03 {
 				t.Errorf("converge_check threshold = %g, want 0.03", e.Aux)
 			}
+		case obs.EventEstimate:
+			estimates++
 		}
 	}
 	if samples != len(res.Samples) {
@@ -71,6 +84,9 @@ func TestTraceEmissionOverSimProbe(t *testing.T) {
 	}
 	if checks == 0 {
 		t.Error("no converge_check events")
+	}
+	if estimates != 3 {
+		t.Errorf("estimate events = %d, want 3 (trimmed_mean, sustained_peak, p90_p80)", estimates)
 	}
 	// The emulator stamps virtual time: the last event lands exactly at the
 	// reported virtual duration.
@@ -108,9 +124,14 @@ func TestTraceTimeoutEvent(t *testing.T) {
 		t.Skip("noisy link converged; cannot exercise the timeout path")
 	}
 	ev := tr.Events()
-	last := ev[len(ev)-1]
-	if last.Kind != obs.EventTimeout || last.Value != res.Bandwidth {
-		t.Errorf("last event = %+v, want timeout at %g", last, res.Bandwidth)
+	var timeout *obs.Event
+	for i := range ev {
+		if ev[i].Kind == obs.EventTimeout {
+			timeout = &ev[i]
+		}
+	}
+	if timeout == nil || timeout.Value != res.Bandwidth {
+		t.Errorf("timeout event = %+v, want value %g", timeout, res.Bandwidth)
 	}
 	snap := reg.Snapshot()
 	if snap.Counters["swiftest_engine_tests_timeout_total"] != 1 {

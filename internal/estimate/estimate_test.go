@@ -1,0 +1,247 @@
+package estimate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func almostEqual(a, b float64) bool {
+	return math.Abs(a-b) < 1e-9*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestComputeEmptyStream(t *testing.T) {
+	est := Compute(nil, 42.5)
+	if est.CrossingMbps != 42.5 {
+		t.Errorf("CrossingMbps = %v, want pass-through 42.5", est.CrossingMbps)
+	}
+	if est.TrimmedMeanMbps != 0 || est.SustainedPeakMbps != 0 || est.P90P80Mbps != 0 {
+		t.Errorf("empty stream must zero the sample estimators: %+v", est)
+	}
+}
+
+func TestComputeSingleInterval(t *testing.T) {
+	est := Compute([]float64{17}, 17)
+	if !almostEqual(est.TrimmedMeanMbps, 17) {
+		t.Errorf("TrimmedMean = %v, want 17", est.TrimmedMeanMbps)
+	}
+	if !almostEqual(est.SustainedPeakMbps, 17) {
+		t.Errorf("SustainedPeak = %v, want 17", est.SustainedPeakMbps)
+	}
+	if !almostEqual(est.P90P80Mbps, 17) {
+		t.Errorf("P90P80 = %v, want 17", est.P90P80Mbps)
+	}
+}
+
+func TestComputeAllIdentical(t *testing.T) {
+	samples := make([]float64, 40)
+	for i := range samples {
+		samples[i] = 9.25
+	}
+	est := Compute(samples, 9.25)
+	for name, got := range map[string]float64{
+		"TrimmedMean":   est.TrimmedMeanMbps,
+		"SustainedPeak": est.SustainedPeakMbps,
+		"P90P80":        est.P90P80Mbps,
+	} {
+		if !almostEqual(got, 9.25) {
+			t.Errorf("%s = %v, want 9.25 on identical samples", name, got)
+		}
+	}
+}
+
+func TestTrimmedMeanDropsOutliers(t *testing.T) {
+	// 18 samples at 10, one at 1000, one at 0: a 10 % trim removes exactly
+	// the two extremes.
+	samples := []float64{1000, 0}
+	for i := 0; i < 18; i++ {
+		samples = append(samples, 10)
+	}
+	if got := TrimmedMean(samples); !almostEqual(got, 10) {
+		t.Errorf("TrimmedMean = %v, want 10", got)
+	}
+}
+
+func TestSustainedPeakFindsBurst(t *testing.T) {
+	// 30 samples at 5 with a 10-sample burst at 50 in the middle: the peak
+	// window must land exactly on the burst.
+	samples := make([]float64, 30)
+	for i := range samples {
+		samples[i] = 5
+	}
+	for i := 10; i < 20; i++ {
+		samples[i] = 50
+	}
+	if got := SustainedPeak(samples); !almostEqual(got, 50) {
+		t.Errorf("SustainedPeak = %v, want 50", got)
+	}
+}
+
+func TestSustainedPeakOrderDependent(t *testing.T) {
+	// The same multiset in burst order vs interleaved order must differ —
+	// sustained peak measures contiguous delivery by design.
+	burst := []float64{1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9}
+	interleaved := []float64{1, 9, 1, 9, 1, 9, 1, 9, 1, 9, 1, 9, 1, 9, 1, 9, 1, 9, 1, 9}
+	if SustainedPeak(burst) <= SustainedPeak(interleaved) {
+		t.Errorf("burst peak %v not above interleaved peak %v",
+			SustainedPeak(burst), SustainedPeak(interleaved))
+	}
+}
+
+func TestP90P80Band(t *testing.T) {
+	// 0..99: P80..P90 band is samples 80..89, mean 84.5.
+	samples := make([]float64, 100)
+	for i := range samples {
+		samples[i] = float64(i)
+	}
+	if got := P90P80(samples); !almostEqual(got, 84.5) {
+		t.Errorf("P90P80 = %v, want 84.5", got)
+	}
+}
+
+// shuffled returns a deterministic permutation of samples.
+func shuffled(samples []float64, seed int64) []float64 {
+	out := make([]float64, len(samples))
+	copy(out, samples)
+	r := rand.New(rand.NewSource(seed))
+	r.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+func TestOrderIndependenceProperty(t *testing.T) {
+	// TrimmedMean and P90P80 are defined on the sample distribution, so any
+	// permutation of the stream must give the identical estimate.
+	f := func(raw []float64, seed int64) bool {
+		samples := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			// Throughput samples are non-negative and bounded.
+			samples = append(samples, math.Mod(math.Abs(v), 1e6))
+		}
+		perm := shuffled(samples, seed)
+		return almostEqual(TrimmedMean(samples), TrimmedMean(perm)) &&
+			almostEqual(P90P80(samples), P90P80(perm))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEstimatorBoundsProperty(t *testing.T) {
+	// Every estimator lies within [min, max] of the stream.
+	f := func(raw []float64) bool {
+		var samples []float64
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			samples = append(samples, math.Mod(math.Abs(v), 1e6))
+		}
+		if len(samples) == 0 {
+			return true
+		}
+		lo, hi := samples[0], samples[0]
+		for _, v := range samples {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		eps := 1e-9 * (1 + hi)
+		for _, got := range []float64{TrimmedMean(samples), SustainedPeak(samples), P90P80(samples)} {
+			if got < lo-eps || got > hi+eps {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func traj(bw []float64, rtt []time.Duration) []TrajectoryPoint {
+	pts := make([]TrajectoryPoint, len(bw))
+	for i := range bw {
+		pts[i] = TrajectoryPoint{At: time.Duration(i) * 50 * time.Millisecond, Mbps: bw[i]}
+		if rtt != nil {
+			pts[i].RTT = rtt[i]
+		}
+	}
+	return pts
+}
+
+func TestClassifyBDPTooFewPoints(t *testing.T) {
+	if got := ClassifyBDP(traj([]float64{1, 2, 3}, nil)); got != RegimeUnknown {
+		t.Errorf("3 points classified as %v, want unknown", got)
+	}
+	if got := ClassifyBDP(nil); got != RegimeUnknown {
+		t.Errorf("empty trajectory classified as %v, want unknown", got)
+	}
+}
+
+func TestClassifyBDPStable(t *testing.T) {
+	bw := make([]float64, 12)
+	rtt := make([]time.Duration, 12)
+	for i := range bw {
+		bw[i] = 40
+		rtt[i] = 40 * time.Millisecond
+	}
+	if got := ClassifyBDP(traj(bw, rtt)); got != RegimeStable {
+		t.Errorf("flat trajectory classified as %v, want stable", got)
+	}
+}
+
+func TestClassifyBDPSlowStart(t *testing.T) {
+	// Bandwidth doubling every few samples while RTT shrinks inversely:
+	// BDP constant, bandwidth rising — the canonical opening window.
+	var bw []float64
+	var rtt []time.Duration
+	for i := 0; i < 12; i++ {
+		b := 5 * math.Pow(1.3, float64(i))
+		bw = append(bw, b)
+		rtt = append(rtt, time.Duration(2e9/b)) // Mbps × RTT constant
+	}
+	if got := ClassifyBDP(traj(bw, rtt)); got != RegimeSlowStart {
+		t.Errorf("ramp trajectory classified as %v, want slow-start", got)
+	}
+}
+
+func TestClassifyBDPQueueBuildup(t *testing.T) {
+	// Flat bandwidth, RTT tripling: the probe fills a buffer.
+	bw := make([]float64, 12)
+	rtt := make([]time.Duration, 12)
+	for i := range bw {
+		bw[i] = 40
+		rtt[i] = time.Duration(40+10*i) * time.Millisecond
+	}
+	if got := ClassifyBDP(traj(bw, rtt)); got != RegimeQueueBuildup {
+		t.Errorf("bloat trajectory classified as %v, want queue-buildup", got)
+	}
+}
+
+func TestClassifyBDPShaping(t *testing.T) {
+	// A 100 Mbps burst collapsing to a flat 20 Mbps plateau: token-bucket
+	// shaping. Works without RTT data (TCP baselines).
+	bw := []float64{100, 100, 100, 100, 20, 20, 20, 20, 20, 20, 20, 20}
+	if got := ClassifyBDP(traj(bw, nil)); got != RegimeShaping {
+		t.Errorf("shaped trajectory classified as %v, want shaping", got)
+	}
+}
+
+func TestRegimeStringRoundTrip(t *testing.T) {
+	for _, r := range []Regime{RegimeUnknown, RegimeSlowStart, RegimeQueueBuildup, RegimeShaping, RegimeStable} {
+		if got := ParseRegime(r.String()); got != r {
+			t.Errorf("ParseRegime(%q) = %v, want %v", r.String(), got, r)
+		}
+	}
+	if got := ParseRegime("gibberish"); got != RegimeUnknown {
+		t.Errorf("ParseRegime(gibberish) = %v, want unknown", got)
+	}
+}

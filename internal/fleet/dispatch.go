@@ -10,6 +10,7 @@ import (
 	"github.com/mobilebandwidth/swiftest/internal/faults"
 	"github.com/mobilebandwidth/swiftest/internal/obs"
 	"github.com/mobilebandwidth/swiftest/internal/stats"
+	"github.com/mobilebandwidth/swiftest/internal/wire"
 )
 
 // Defaults for the Dispatcher's admission sizing. PerTestMbps follows the
@@ -60,6 +61,12 @@ type Config struct {
 	// synthetic address — the emulated-fleet mode used by loadgen and
 	// tests. Without it, slots wait for real servers to Register.
 	ActivatePlanned bool
+	// AuthKey, when non-zero, makes every assignment carry a protocol-v2
+	// session token minted from its lease (wire.MintToken over the lease's
+	// server ID and sequence). Test servers configured with the same key
+	// admit only clients presenting such a token, closing the fleet to
+	// unleased traffic. Zero leaves assignments tokenless (open fleet).
+	AuthKey uint64
 	// Metrics, when non-nil, receives the fleet gauges and counters.
 	Metrics *obs.Registry
 	// Trace, when non-nil, receives assign/reject/server_dead/drain events.
@@ -88,11 +95,14 @@ type LeaseID struct {
 // Assignment is a dispatch decision: the ranked server list. Servers[0] is
 // the admitted primary carrying the session lease; the rest are failover
 // alternates in preference order, feeding the client's multi-server pool so
-// a mid-test server death fails over along this ranking.
+// a mid-test server death fails over along this ranking. On keyed fleets
+// (Config.AuthKey) Token authenticates the lease to the data plane: the
+// client presents it in every protocol-v2 Setup.
 type Assignment struct {
 	Client  ClientInfo
 	Lease   LeaseID
 	Servers []ServerInfo
+	Token   wire.Token
 }
 
 // Dispatcher assigns incoming clients to fleet servers: deterministic
@@ -282,10 +292,20 @@ func (d *Dispatcher) Dispatch(client ClientInfo, at time.Duration) (Assignment, 
 	r.metrics.updateServer(s)
 	r.trace.Record(at, obs.EventAssign, float64(client.Key), float64(len(s.leases)), s.info.Addr)
 	return Assignment{
-		Client: client,
-		Lease:  LeaseID{Server: s.info.ID, Seq: r.leaseSeq},
+		Client:  client,
+		Lease:   LeaseID{Server: s.info.ID, Seq: r.leaseSeq},
 		Servers: servers,
+		Token:   d.mintToken(s.info.ID, r.leaseSeq),
 	}, nil
+}
+
+// mintToken authenticates one lease for the data plane on keyed fleets; the
+// zero token on open ones.
+func (d *Dispatcher) mintToken(serverID int, seq uint64) wire.Token {
+	if d.cfg.AuthKey == 0 {
+		return wire.Token{}
+	}
+	return wire.MintToken(d.cfg.AuthKey, uint32(serverID), seq)
 }
 
 // Reassign moves a session whose server died mid-test to the best surviving
@@ -325,7 +345,11 @@ func (d *Dispatcher) Reassign(a Assignment, at time.Duration) (Assignment, error
 			expires = at + d.cfg.LeaseTTL
 		}
 		s.claimLocked(r.leaseSeq, claim, expires)
-		out := Assignment{Client: a.Client, Lease: LeaseID{Server: s.info.ID, Seq: r.leaseSeq}}
+		out := Assignment{
+			Client: a.Client,
+			Lease:  LeaseID{Server: s.info.ID, Seq: r.leaseSeq},
+			Token:  d.mintToken(s.info.ID, r.leaseSeq),
+		}
 		out.Servers = append(out.Servers, s.info)
 		for _, other := range a.Servers {
 			if other.ID != s.info.ID && other.ID != a.Lease.Server {

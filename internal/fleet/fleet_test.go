@@ -462,3 +462,63 @@ func BenchmarkDispatch(b *testing.B) {
 		r.Release(a.Lease, at)
 	}
 }
+
+// TestDispatchMintsLeaseTokens pins the keyed-fleet contract: every
+// assignment on a keyed dispatcher carries a token the data plane verifies
+// under the same key, bound to the lease (distinct per assignment), and open
+// fleets stay tokenless.
+func TestDispatchMintsLeaseTokens(t *testing.T) {
+	const key = 0x5157494654455354
+	plan, placements := threeTierPlan()
+	d, err := NewDispatcher(plan, placements, Config{ActivatePlanned: true, AuthKey: key})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, err := d.Dispatch(ClientInfo{Key: 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := d.Dispatch(ClientInfo{Key: 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range []Assignment{a1, a2} {
+		if a.Token.IsZero() {
+			t.Fatal("keyed dispatcher issued a zero token")
+		}
+		if !a.Token.Verify(key) {
+			t.Errorf("token %v does not verify under the fleet key", a.Token)
+		}
+		if a.Token.Verify(key ^ 1) {
+			t.Errorf("token %v verifies under a foreign key", a.Token)
+		}
+		if got, want := a.Token.Seq, a.Lease.Seq; got != want {
+			t.Errorf("token seq = %d, want lease seq %d", got, want)
+		}
+	}
+	if a1.Token == a2.Token {
+		t.Error("two assignments share one token")
+	}
+
+	// Failover re-mints for the new lease.
+	moved, err := d.Reassign(a1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved.Token.IsZero() || !moved.Token.Verify(key) || moved.Token == a1.Token {
+		t.Errorf("failover token %v not re-minted for the new lease", moved.Token)
+	}
+
+	// Open fleet: no token.
+	open, err := NewDispatcher(plan, placements, Config{ActivatePlanned: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := open.Dispatch(ClientInfo{Key: 3}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Token.IsZero() {
+		t.Errorf("open dispatcher issued token %v, want zero", a.Token)
+	}
+}

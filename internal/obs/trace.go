@@ -14,8 +14,12 @@ import (
 const DefaultTraceCapacity = 4096
 
 // RunRecordSchema names the JSONL run-record layout emitted by WriteJSONL,
-// carried in the header line so downstream tooling can dispatch on it.
-const RunRecordSchema = "swiftest-run-record/v1"
+// carried in the header line so downstream tooling can dispatch on it. v2
+// adds the estimator-family and BDP-regime event kinds (EventRTTSample,
+// EventEstimate, EventRegime, EventRegimeHint) emitted by the protocol-v2
+// engine; the line layout itself is unchanged, so v1 consumers can read v2
+// records by ignoring the new kinds.
+const RunRecordSchema = "swiftest-run-record/v2"
 
 // Trace kinds emitted by the probing engine and the transport. Collected
 // here so run-record consumers have one vocabulary to dispatch on.
@@ -32,6 +36,14 @@ const (
 	EventServerLost    = "server_lost"     // value = lost rate share (Mbps), note = server address
 	EventAborted       = "aborted"         // the test's context was cancelled; note = cause
 	EventError         = "error"           // note = error text
+)
+
+// Trace kinds added by the protocol-v2 estimator pipeline (schema v2).
+const (
+	EventRTTSample  = "rtt_sample"  // value = RTT (ms), aux = concurrent sample (Mbps)
+	EventEstimate   = "estimate"    // value = estimate (Mbps), note = estimator name
+	EventRegime     = "bdp_regime"  // value = numeric regime code, note = regime name
+	EventRegimeHint = "regime_hint" // the regime fed back as a convergence hint; note = regime name
 )
 
 // Trace kinds emitted by the RAN profile state machine (package

@@ -75,7 +75,8 @@ func TestBufPoolGrowsBeyondPrealloc(t *testing.T) {
 // unit-level counterpart of a TestRequest handshake.
 func addWheelSession(srv *Server, testID uint64, peer *net.UDPAddr, rateKbps uint32) *session {
 	key := sessionKey{addr: peer.String(), testID: testID}
-	sess := &session{key: key, testID: testID, peer: peer}
+	sess := &session{key: key, testID: testID}
+	sess.peer.Store(peer)
 	sess.rateKbps.Store(rateKbps)
 	sess.lastSeen.Store(time.Now().UnixNano())
 	srv.mu.Lock()

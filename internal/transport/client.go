@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"github.com/mobilebandwidth/swiftest/internal/errdefs"
+	"github.com/mobilebandwidth/swiftest/internal/estimate"
 	"github.com/mobilebandwidth/swiftest/internal/faults"
 	"github.com/mobilebandwidth/swiftest/internal/obs"
 	"github.com/mobilebandwidth/swiftest/internal/transport/batchio"
@@ -205,7 +206,8 @@ type UDPProbe struct {
 	used       int              // sessions opened; guarded by mu
 	lost       int              // sessions declared dead; guarded by mu
 
-	lostAfter    int // K zero-byte windows before a session is lost
+	lostAfter    int   // K zero-byte windows before a session is lost
+	lastOpenErr  error // most recent session-open failure; guarded by mu
 	lostCounter  *obs.Counter
 	retryCounter *obs.Counter
 
@@ -224,10 +226,17 @@ type UDPProbe struct {
 
 	wire    WireMode // syscall strategy for session receive loops
 	recvBuf *bufPool // pooled receive buffers, shared across sessions
+
+	proto Protocol   // wire generation policy; set before the first SetRate
+	token wire.Token // dispatcher-lease auth token carried by v2 Setups
+
+	// finalEst/finalRegime ride the v2 Bye when set; guarded by mu.
+	finalEst    estimate.Estimates
+	finalRegime estimate.Regime
 }
 
 type clientSession struct {
-	conn   *net.UDPConn
+	conn   *net.UDPConn // the only socket (v1) or the data channel (v2)
 	server PoolServer
 	probe  *UDPProbe
 	done   chan struct{}
@@ -237,6 +246,17 @@ type clientSession struct {
 	assigned float64 // Mbps currently asked of this server; probe.mu held for access
 	lost     bool    // probe.mu held for access
 	tracker  *faults.LostTracker
+
+	// Protocol-v2 state; zero-valued on v1 sessions.
+	v2         bool
+	id         uint64       // session ID, the key both channels share
+	caps       uint32       // capability intersection from the SetupAck
+	ctrl       *net.UDPConn // control channel
+	ctrlDone   chan struct{}
+	byeAck     chan struct{}
+	byeAckOnce sync.Once
+	repBytes   atomic.Uint64 // cumulative paced bytes, latest server Report
+	repDgrams  atomic.Uint32 // cumulative paced datagrams, latest server Report
 }
 
 // SampleInterval is the client's sampling period, matching §5.1's 50 ms.
@@ -331,6 +351,12 @@ func (p *UDPProbe) SetRate(mbps float64) error {
 	p.targetMbps = mbps
 	p.redistributeLocked()
 	if mbps > 0 && p.liveCountLocked() == 0 {
+		if p.lastOpenErr != nil {
+			// Surface the concrete refusal (auth rejection, protocol
+			// mismatch) instead of a generic exhaustion error.
+			return fmt.Errorf("transport: %w: no test server accepted the session: %w",
+				errdefs.ErrNoReachableServer, p.lastOpenErr)
+		}
 		return fmt.Errorf("transport: %w: no test server accepted the session",
 			errdefs.ErrNoReachableServer)
 	}
@@ -366,6 +392,7 @@ func (p *UDPProbe) redistributeLocked() {
 		p.nextServer++
 		sess, err := p.openSessionLocked(srv)
 		if err != nil {
+			p.lastOpenErr = err
 			continue
 		}
 		p.sessions = append(p.sessions, sess)
@@ -385,19 +412,38 @@ func (p *UDPProbe) redistributeLocked() {
 		}
 		remaining -= share
 		sess.assigned = share
+		// Send twice: rate updates are idempotent; send errors are UDP loss.
+		if sess.v2 {
+			r2 := wire.Rate2{SessionID: sess.id, RateKbps: wire.KbpsFromMbps(share), Seq: seq}
+			buf := r2.AppendTo(make([]byte, 0, wire.Rate2Len))
+			for j := 0; j < 2; j++ {
+				_, _ = sess.ctrl.Write(buf)
+			}
+			continue
+		}
 		rs := wire.RateSet{TestID: p.testID, RateKbps: wire.KbpsFromMbps(share), Seq: seq}
 		buf := rs.AppendTo(make([]byte, 0, wire.RateSetLen))
-		// Send twice: RateSet is idempotent; send errors are UDP loss.
 		for j := 0; j < 2; j++ {
 			_, _ = sess.conn.Write(buf)
 		}
 	}
 }
 
-// openSessionLocked dials one server, performs the TestRequest/TestAccept
-// handshake with bounded retries, and starts the receive loop. Callers hold
-// p.mu.
+// openSessionLocked dials one server at the configured protocol generation:
+// v2 first unless pinned to ProtoV1, falling back to the legacy
+// TestRequest/TestAccept handshake when a ProtoAuto negotiation goes
+// unanswered. Callers hold p.mu.
 func (p *UDPProbe) openSessionLocked(server PoolServer) (*clientSession, error) {
+	if p.proto != ProtoV1 {
+		sess, err := p.openV2SessionLocked(server)
+		if err == nil {
+			return sess, nil
+		}
+		if p.proto == ProtoV2 || !errors.Is(err, errdefs.ErrProtocolUnsupported) {
+			return nil, err
+		}
+		// ProtoAuto against a legacy server: negotiate down to v1.
+	}
 	raddr, err := net.ResolveUDPAddr("udp", server.Addr)
 	if err != nil {
 		return nil, &errdefs.ServerError{Addr: server.Addr, Op: "handshake", Err: err}
@@ -506,8 +552,8 @@ func (cs *clientSession) receiveLoop() {
 		}
 		for i := 0; i < n; i++ {
 			pkt := msgs[i].Buf[:msgs[i].N]
-			typ, err := wire.PeekType(pkt)
-			if err != nil || typ != wire.TypeData {
+			_, typ, err := wire.PeekVersion(pkt)
+			if err != nil || (typ != wire.TypeData && typ != wire.TypeData2) {
 				continue
 			}
 			cs.rxBytes.Add(int64(len(pkt)))
@@ -522,11 +568,23 @@ func (cs *clientSession) receiveLoop() {
 // transit time between consecutive packets. Clock offset between client and
 // server cancels in the difference, so no synchronisation is needed.
 func (p *UDPProbe) observeJitter(pkt []byte) {
-	var d wire.Data
-	if d.Decode(pkt) != nil {
-		return
+	// Both probe-datagram generations carry the send timestamp; only the
+	// frame around it differs.
+	var sentNS uint64
+	if pkt[2] == wire.Version2 {
+		var d2 wire.Data2
+		if d2.Decode(pkt) != nil {
+			return
+		}
+		sentNS = d2.SentNS
+	} else {
+		var d wire.Data
+		if d.Decode(pkt) != nil {
+			return
+		}
+		sentNS = d.SentNS
 	}
-	transit := time.Now().UnixNano() - int64(d.SentNS)
+	transit := time.Now().UnixNano() - int64(sentNS)
 	prev := p.lastTransit.Swap(transit)
 	if prev == 0 {
 		return
@@ -623,6 +681,9 @@ func (p *UDPProbe) detectLostSessions() {
 	p.mu.Unlock()
 	for _, sess := range toClose {
 		sess.conn.Close() // unblocks the receive loop
+		if sess.ctrl != nil {
+			sess.ctrl.Close() // unblocks the control loop
+		}
 	}
 }
 
@@ -646,13 +707,16 @@ func (p *UDPProbe) ServersLost() int {
 	return p.lost
 }
 
-// Finish reports the result to every session's server and closes the probe.
+// Finish reports the result to every session's server and closes the probe:
+// a Fin on v1 sessions, a Bye (retransmitted until acked) carrying the
+// estimator family on v2 ones.
 func (p *UDPProbe) Finish(resultMbps float64, duration time.Duration) {
 	if p.closed.Swap(true) {
 		return
 	}
 	p.mu.Lock()
 	sessions := append([]*clientSession(nil), p.sessions...)
+	est, regime := p.finalEst, p.finalRegime
 	p.mu.Unlock()
 	fin := wire.Fin{
 		TestID:     p.testID,
@@ -662,9 +726,19 @@ func (p *UDPProbe) Finish(resultMbps float64, duration time.Duration) {
 	buf := fin.AppendTo(make([]byte, 0, wire.FinLen))
 	for _, sess := range sessions {
 		if !sess.lost {
-			_, _ = sess.conn.Write(buf)
+			if sess.v2 {
+				p.sendBye(sess, resultMbps, duration, est, regime)
+			} else {
+				_, _ = sess.conn.Write(buf)
+			}
 		}
 		sess.conn.Close()
+		if sess.ctrl != nil {
+			sess.ctrl.Close()
+		}
 		<-sess.done
+		if sess.ctrlDone != nil {
+			<-sess.ctrlDone
+		}
 	}
 }

@@ -1,0 +1,388 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"github.com/mobilebandwidth/swiftest/internal/errdefs"
+	"github.com/mobilebandwidth/swiftest/internal/estimate"
+	"github.com/mobilebandwidth/swiftest/internal/faults"
+	"github.com/mobilebandwidth/swiftest/internal/obs"
+	"github.com/mobilebandwidth/swiftest/internal/wire"
+)
+
+// Protocol v2 client side: the control/data channel split.
+//
+// The client opens two sockets per server — a control socket for the
+// handshake, rate updates, server Reports and the final Bye, and a data
+// socket that receives nothing but paced probe datagrams. Splitting them
+// means a probe flood can never queue a rate update or a Report behind
+// megabytes of buffered Data, which is exactly what happens to v1 under
+// deep downstream buffers.
+
+// Protocol selects the wire generation the client speaks.
+type Protocol uint8
+
+const (
+	// ProtoAuto negotiates v2 and falls back to the v1 single-socket
+	// handshake when the server never answers the Hello. The default.
+	ProtoAuto Protocol = iota
+	// ProtoV1 skips negotiation and speaks the legacy protocol.
+	ProtoV1
+	// ProtoV2 requires v2: a legacy server is an error
+	// (errdefs.ErrProtocolUnsupported), not a fallback.
+	ProtoV2
+)
+
+// String names the protocol selection for logs and CLI flags.
+func (p Protocol) String() string {
+	switch p {
+	case ProtoAuto:
+		return "auto"
+	case ProtoV1:
+		return "v1"
+	case ProtoV2:
+		return "v2"
+	}
+	return fmt.Sprintf("protocol(%d)", uint8(p))
+}
+
+// ParseProtocol maps a CLI flag value onto a Protocol.
+func ParseProtocol(s string) (Protocol, error) {
+	switch s {
+	case "auto", "":
+		return ProtoAuto, nil
+	case "v1", "1":
+		return ProtoV1, nil
+	case "v2", "2":
+		return ProtoV2, nil
+	}
+	return ProtoAuto, fmt.Errorf("transport: unknown protocol %q (want auto, v1 or v2)", s)
+}
+
+// SetProtocol selects the wire generation the probe speaks. Call before the
+// first SetRate; the default is ProtoAuto.
+func (p *UDPProbe) SetProtocol(proto Protocol) { p.proto = proto }
+
+// SetToken attaches the dispatcher-lease auth token carried by every v2
+// Setup. Call before the first SetRate; servers running without an auth key
+// ignore it.
+func (p *UDPProbe) SetToken(t wire.Token) { p.token = t }
+
+// SetFinalReport attaches the estimator family and BDP-regime classification
+// the final Bye carries to each server (CapEstimates sessions only). Call
+// before Finish; without it the Bye reports the headline figure alone.
+func (p *UDPProbe) SetFinalReport(est estimate.Estimates, regime estimate.Regime) {
+	p.mu.Lock()
+	p.finalEst = est
+	p.finalRegime = regime
+	p.mu.Unlock()
+}
+
+// NegotiatedVersion reports the wire generation the probe's sessions
+// negotiated: 2 once any session runs the two-channel protocol, 1 when every
+// session fell back to (or asked for) the legacy protocol, 0 before the
+// first session opens.
+func (p *UDPProbe) NegotiatedVersion() uint8 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var ver uint8
+	for _, sess := range p.sessions {
+		if sess.v2 {
+			return 2
+		}
+		ver = 1
+	}
+	return ver
+}
+
+// ReportedLoss is the delivery-loss fraction observed through the server's
+// per-interval Reports, aggregated across v2 sessions: 1 − received/paced
+// bytes. It reads 0 until the first Report lands (v1 sessions, or
+// CapReports inactive) — absence of evidence is not loss.
+func (p *UDPProbe) ReportedLoss() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var sent, rx uint64
+	for _, sess := range p.sessions {
+		if sess.v2 {
+			sent += sess.repBytes.Load()
+			rx += uint64(sess.rxBytes.Load())
+		}
+	}
+	if sent == 0 || rx >= sent {
+		return 0
+	}
+	return 1 - float64(rx)/float64(sent)
+}
+
+// v2NegotiateAttempts bounds Hello retries before the client concludes the
+// server is a legacy deployment. Deliberately smaller than the session
+// handshake budget: a lost Hello costs a retry, a legacy server costs the
+// whole budget in fallback latency.
+const v2NegotiateAttempts = 2
+
+// sessionIDStride spreads per-session IDs across the 64-bit space from the
+// probe's random test ID (the golden-ratio multiplier, as in Fibonacci
+// hashing), so concurrent sessions from one probe never collide on the
+// server's ID-keyed table.
+const sessionIDStride = 0x9e3779b97f4a7c15
+
+// openV2SessionLocked dials one server over protocol v2: Hello/HelloAck
+// negotiation on a fresh control socket, lease-authenticated Setup, then a
+// second data socket bound to the session with DataOpen. Callers hold p.mu.
+//
+// The error wraps errdefs.ErrProtocolUnsupported when the server never
+// answered the Hello — the ProtoAuto caller falls back to v1 on exactly that
+// condition — and errdefs.ErrAuthRejected when the server refused the lease
+// token, which no retry or fallback can fix.
+func (p *UDPProbe) openV2SessionLocked(server PoolServer) (*clientSession, error) {
+	raddr, err := net.ResolveUDPAddr("udp", server.Addr)
+	if err != nil {
+		return nil, &errdefs.ServerError{Addr: server.Addr, Op: "handshake", Err: err}
+	}
+	ctrl, err := net.DialUDP("udp", nil, raddr)
+	if err != nil {
+		return nil, &errdefs.ServerError{Addr: server.Addr, Op: "handshake", Err: err}
+	}
+
+	nonce := uint64(time.Now().UnixNano()) ^ p.testID
+	buf := make([]byte, 2048)
+
+	// Version negotiation. A legacy server fails PeekVersion on the Hello
+	// and stays silent, so silence past the (short) retry budget means v1.
+	hello := wire.Hello{
+		MinVersion: wire.Version, MaxVersion: wire.Version2,
+		Caps: wire.ServerCaps, Nonce: nonce,
+	}
+	helloBuf := hello.AppendTo(make([]byte, 0, wire.HelloLen))
+	var ack wire.HelloAck
+	negotiated := false
+	for attempt := 0; attempt < v2NegotiateAttempts && !negotiated; attempt++ {
+		if err := p.handshakeCtxErr(server, ctrl); err != nil {
+			return nil, err
+		}
+		if _, err := ctrl.Write(helloBuf); err != nil {
+			ctrl.Close()
+			return nil, &errdefs.ServerError{Addr: server.Addr, Op: "handshake", Err: err}
+		}
+		_ = ctrl.SetReadDeadline(time.Now().Add(handshakeTimeout))
+		for {
+			n, err := ctrl.Read(buf)
+			if err != nil {
+				break
+			}
+			if ack.Decode(buf[:n]) == nil && ack.Nonce == nonce && ack.Version == wire.Version2 {
+				negotiated = true
+				break
+			}
+		}
+	}
+	if !negotiated {
+		ctrl.Close()
+		return nil, &errdefs.ServerError{Addr: server.Addr, Op: "handshake",
+			Err: fmt.Errorf("no hello-ack after %d attempts: %w",
+				v2NegotiateAttempts, errdefs.ErrProtocolUnsupported)}
+	}
+
+	// Session setup under the lease token. An explicit SetupReject
+	// short-circuits the retry budget — policy refusals don't melt away.
+	sid := p.testID ^ (uint64(p.used)+1)*sessionIDStride
+	setup := wire.Setup{SessionID: sid, RateKbps: 0, Token: p.token}
+	setupBuf := setup.AppendTo(make([]byte, 0, wire.SetupLen))
+	var sack wire.SetupAck
+	admitted := false
+	for attempt := 0; attempt < handshakeAttempts && !admitted; attempt++ {
+		if err := p.handshakeCtxErr(server, ctrl); err != nil {
+			return nil, err
+		}
+		if attempt > 0 {
+			p.retryCounter.Inc()
+			p.trace.Record(p.Elapsed(), obs.EventServerRetry, float64(attempt), 0, server.Addr)
+		}
+		if _, err := ctrl.Write(setupBuf); err != nil {
+			ctrl.Close()
+			return nil, &errdefs.ServerError{Addr: server.Addr, Op: "handshake", Err: err}
+		}
+		_ = ctrl.SetReadDeadline(time.Now().Add(handshakeTimeout))
+		for {
+			n, err := ctrl.Read(buf)
+			if err != nil {
+				break
+			}
+			var rej wire.SetupReject
+			if rej.Decode(buf[:n]) == nil && rej.SessionID == sid {
+				ctrl.Close()
+				if rej.Code == wire.RejectAuth {
+					return nil, &errdefs.ServerError{Addr: server.Addr, Op: "handshake",
+						Err: errdefs.ErrAuthRejected}
+				}
+				return nil, &errdefs.ServerError{Addr: server.Addr, Op: "handshake",
+					Err: fmt.Errorf("setup rejected (code %d)", rej.Code)}
+			}
+			if sack.Decode(buf[:n]) == nil && sack.SessionID == sid {
+				admitted = true
+				break
+			}
+		}
+	}
+	if !admitted {
+		ctrl.Close()
+		return nil, &errdefs.ServerError{Addr: server.Addr, Op: "handshake",
+			Err: fmt.Errorf("no setup-ack after %d attempts: %w",
+				handshakeAttempts, errdefs.ErrProbeTimeout)}
+	}
+	_ = ctrl.SetReadDeadline(time.Time{})
+
+	// Data channel: a second socket, bound to the session by DataOpen so
+	// the server learns where to pace.
+	data, err := net.DialUDP("udp", nil, raddr)
+	if err != nil {
+		ctrl.Close()
+		return nil, &errdefs.ServerError{Addr: server.Addr, Op: "handshake", Err: err}
+	}
+	if err := data.SetReadBuffer(4 << 20); err != nil {
+		// Non-fatal: the default buffer just loses more under burst.
+		_ = err
+	}
+	do := wire.DataOpen{SessionID: sid, Nonce: nonce}
+	doBuf := do.AppendTo(make([]byte, 0, wire.DataOpenLen))
+	opened := false
+	for attempt := 0; attempt < handshakeAttempts && !opened; attempt++ {
+		if err := p.handshakeCtxErr(server, ctrl, data); err != nil {
+			return nil, err
+		}
+		if _, err := data.Write(doBuf); err != nil {
+			ctrl.Close()
+			data.Close()
+			return nil, &errdefs.ServerError{Addr: server.Addr, Op: "handshake", Err: err}
+		}
+		_ = data.SetReadDeadline(time.Now().Add(handshakeTimeout))
+		for {
+			n, err := data.Read(buf)
+			if err != nil {
+				break
+			}
+			var doa wire.DataOpenAck
+			if doa.Decode(buf[:n]) == nil && doa.SessionID == sid {
+				opened = true
+				break
+			}
+		}
+	}
+	if !opened {
+		ctrl.Close()
+		data.Close()
+		return nil, &errdefs.ServerError{Addr: server.Addr, Op: "handshake",
+			Err: fmt.Errorf("no data-open-ack after %d attempts: %w",
+				handshakeAttempts, errdefs.ErrProbeTimeout)}
+	}
+	_ = data.SetReadDeadline(time.Time{})
+
+	sess := &clientSession{
+		conn:     data,
+		ctrl:     ctrl,
+		server:   server,
+		probe:    p,
+		v2:       true,
+		id:       sid,
+		caps:     sack.Caps,
+		done:     make(chan struct{}),
+		ctrlDone: make(chan struct{}),
+		byeAck:   make(chan struct{}),
+		tracker:  faults.NewLostTracker(p.lostAfter),
+	}
+	p.used++
+	p.trace.Record(p.Elapsed(), obs.EventServerAdd, 2, server.UplinkMbps, server.Addr)
+	go sess.receiveLoop()
+	go sess.ctrlLoop()
+	return sess, nil
+}
+
+// handshakeCtxErr folds a cancelled probe context into the handshake error
+// shape, closing the sockets opened so far.
+func (p *UDPProbe) handshakeCtxErr(server PoolServer, conns ...*net.UDPConn) error {
+	err := p.ctx.Err()
+	if err == nil {
+		return nil
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	return &errdefs.ServerError{Addr: server.Addr, Op: "handshake",
+		Err: fmt.Errorf("%w: %w", errdefs.ErrTestAborted, err)}
+}
+
+// ctrlLoop drains the session's control socket: per-interval server Reports
+// feed the loss view, the ByeAck releases the teardown. It exits when the
+// socket closes — Finish and the lost-session failover both close it.
+func (cs *clientSession) ctrlLoop() {
+	defer close(cs.ctrlDone)
+	buf := make([]byte, 2048)
+	for {
+		_ = cs.ctrl.SetReadDeadline(time.Now().Add(time.Second))
+		n, err := cs.ctrl.Read(buf)
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				continue
+			}
+			return
+		}
+		_, typ, err := wire.PeekVersion(buf[:n])
+		if err != nil {
+			continue
+		}
+		switch typ {
+		case wire.TypeReport:
+			var r wire.Report
+			if r.Decode(buf[:n]) != nil || r.SessionID != cs.id {
+				continue
+			}
+			// Cumulative counters: a later report supersedes an earlier one
+			// even when UDP reorders them, so keep the high-water mark.
+			if r.SentBytes > cs.repBytes.Load() {
+				cs.repBytes.Store(r.SentBytes)
+				cs.repDgrams.Store(r.SentDatagrams)
+			}
+		case wire.TypeByeAck:
+			var a wire.ByeAck
+			if a.Decode(buf[:n]) == nil && a.SessionID == cs.id {
+				cs.byeAckOnce.Do(func() { close(cs.byeAck) })
+			}
+		}
+	}
+}
+
+// byeAttempts bounds Bye retransmissions during teardown.
+const byeAttempts = 3
+
+// sendBye runs the reliable v2 teardown: the Bye carries the headline result
+// plus — on CapEstimates sessions — the estimator family and BDP regime, and
+// is retransmitted until the ByeAck lands or the budget runs out.
+func (p *UDPProbe) sendBye(sess *clientSession, resultMbps float64, duration time.Duration,
+	est estimate.Estimates, regime estimate.Regime) {
+	bye := wire.Bye{
+		SessionID:  sess.id,
+		ResultKbps: wire.KbpsFromMbps(resultMbps),
+		DurationMS: uint32(duration.Milliseconds()),
+	}
+	if sess.caps&wire.CapEstimates != 0 {
+		bye.CrossingKbps = wire.KbpsFromMbps(est.CrossingMbps)
+		bye.TrimmedKbps = wire.KbpsFromMbps(est.TrimmedMeanMbps)
+		bye.PeakKbps = wire.KbpsFromMbps(est.SustainedPeakMbps)
+		bye.P90P80Kbps = wire.KbpsFromMbps(est.P90P80Mbps)
+		bye.Regime = uint8(regime)
+	}
+	buf := bye.AppendTo(make([]byte, 0, wire.ByeLen))
+	for attempt := 0; attempt < byeAttempts; attempt++ {
+		if _, err := sess.ctrl.Write(buf); err != nil {
+			return
+		}
+		select {
+		case <-sess.byeAck:
+			return
+		case <-time.After(handshakeTimeout):
+		}
+	}
+}

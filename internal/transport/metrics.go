@@ -22,6 +22,8 @@ type serverMetrics struct {
 	rateClamped      *obs.Counter
 	faultsInjected   *obs.Counter
 	pings            *obs.Counter
+	authRejects      *obs.Counter
+	v2Sessions       *obs.Counter
 	pacedMbps        *obs.Gauge
 	uplinkMbps       *obs.Gauge
 	resultMbps       *obs.Histogram
@@ -59,6 +61,10 @@ func newServerMetrics(reg *obs.Registry) serverMetrics {
 			"Fault-plan actions acted out (dropped datagrams, blackout silences, delayed pongs...)."),
 		pings: reg.Counter("swiftest_server_pings_total",
 			"Ping requests answered (server-selection probes)."),
+		authRejects: reg.Counter("swiftest_server_auth_rejects_total",
+			"Protocol-v2 session setups refused by lease authentication."),
+		v2Sessions: reg.Counter("swiftest_server_v2_sessions_total",
+			"Test sessions negotiated at protocol v2 (two-channel)."),
 		pacedMbps: reg.Gauge("swiftest_server_paced_mbps",
 			"Aggregate pacing rate across active sessions (Mbps); capped at swiftest_server_uplink_mbps."),
 		uplinkMbps: reg.Gauge("swiftest_server_uplink_mbps",

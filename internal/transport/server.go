@@ -84,11 +84,23 @@ type ServerConfig struct {
 	// for deployments, WireFallback exists for equivalence testing and
 	// debugging.
 	Wire WireMode
+	// AuthKey, when non-zero, requires every protocol-v2 session setup to
+	// carry a token minted under this key by the fleet dispatcher
+	// (wire.MintToken); setups with absent or forged tokens are rejected
+	// with wire.RejectAuth and counted in
+	// swiftest_server_auth_rejects_total. Protocol-v1 clients predate the
+	// token exchange and are admitted regardless — the fallback path stays
+	// open so legacy clients keep working during a fleet upgrade.
+	AuthKey uint64
 	// startedAt, when non-zero, pins the server's epoch — the base for
 	// fault-plan times and datagram timestamps. Test-only (unexported):
 	// scripted wheel schedules set it before the read loop starts so the
 	// override never races a live packet.
 	startedAt time.Time
+	// v1Only, when true, drops every v2 frame so the server behaves like a
+	// legacy deployment. Test-only (unexported): exercises the client's
+	// negotiated fallback without building an old binary.
+	v1Only bool
 }
 
 // Server is a Swiftest UDP test server.
@@ -107,6 +119,8 @@ type Server struct {
 
 	mu         sync.Mutex
 	sessions   map[sessionKey]*session // guarded by mu
+	byID       map[uint64]*session     // v2 sessions by session ID; guarded by mu
+	helloCaps  map[string]uint32       // per-address negotiated caps from the last Hello; guarded by mu
 	order      []*session              // registration order, for deterministic wheel iteration; guarded by mu
 	hsAttempts map[sessionKey]int      // handshake datagrams seen per key, for fault draws; guarded by mu
 
@@ -129,18 +143,34 @@ type sessionKey struct {
 }
 
 type session struct {
-	key      sessionKey
-	testID   uint64
-	peer     *net.UDPAddr
+	key    sessionKey
+	testID uint64
+	// peer is the address probe datagrams are paced to. v1 sessions set it
+	// at creation; v2 sessions publish with nil and store the data-channel
+	// address when the client's DataOpen arrives, hence the atomic — the
+	// wheel skips the session until the pointer lands.
+	peer     atomic.Pointer[net.UDPAddr]
 	rateKbps atomic.Uint32
 	rateSeq  atomic.Uint32
 	lastSeen atomic.Int64 // unix nanos
 	retired  atomic.Bool  // exactly-once wheel deregistration
 
+	// Protocol v2 identity, immutable after creation.
+	v2       bool
+	id       uint64       // v2 session ID (key.testID carries it too)
+	caps     uint32       // active capability set
+	ctrlPeer *net.UDPAddr // control-channel address (reports, acks)
+
 	// Pacing state, owned by the wheel goroutine after publication.
 	seq        uint32
 	carryBytes float64
 	lastTick   time.Time
+	// Per-interval report state, wheel-owned: cumulative paced traffic and
+	// the cadence cursor for CapReports.
+	sentBytes     uint64
+	sentDatagrams uint32
+	reportSeq     uint32
+	lastReport    time.Time
 }
 
 // NewServer starts a server on addr (e.g. "127.0.0.1:0"). Close releases it.
@@ -179,6 +209,8 @@ func newServer(addr string, cfg ServerConfig, startWheel bool) (*Server, error) 
 		pool:       newBufPool(segsPerBuf*DatagramSize, 4),
 		cfg:        cfg,
 		sessions:   make(map[sessionKey]*session),
+		byID:       make(map[uint64]*session),
+		helloCaps:  make(map[string]uint32),
 		hsAttempts: make(map[sessionKey]int),
 		started:    time.Now(),
 		wheelStop:  make(chan struct{}),
@@ -283,7 +315,7 @@ func (s *Server) readLoop() {
 // batch storage: handlers that keep it beyond this call clone it. out is the
 // reply scratch buffer, returned so the read loop can keep reusing it.
 func (s *Server) handlePacket(pkt []byte, peer *net.UDPAddr, out []byte) []byte {
-	typ, err := wire.PeekType(pkt)
+	ver, typ, err := wire.PeekVersion(pkt)
 	if err != nil {
 		return out // not ours; drop silently
 	}
@@ -292,6 +324,12 @@ func (s *Server) handlePacket(pkt []byte, peer *net.UDPAddr, out []byte) []byte 
 		// datagram vanishes, exactly like a crashed process.
 		s.metrics.faultsInjected.Inc()
 		return out
+	}
+	if ver == wire.Version2 {
+		if s.cfg.v1Only {
+			return out // legacy server: v2 frames mean nothing, negotiation times out
+		}
+		return s.handleV2(typ, pkt, peer, out[:0])
 	}
 	out = out[:0]
 	switch typ {
@@ -396,7 +434,8 @@ func (s *Server) handleTestRequest(req *wire.TestRequest, peer *net.UDPAddr) {
 	if _, exists := s.sessions[key]; exists {
 		return // duplicate request (client retransmit); already running
 	}
-	sess := &session{key: key, testID: req.TestID, peer: cloneUDPAddr(peer)}
+	sess := &session{key: key, testID: req.TestID}
+	sess.peer.Store(cloneUDPAddr(peer))
 	granted := s.clampRateLocked(req.RateKbps, nil)
 	if granted < req.RateKbps {
 		s.metrics.rateClamped.Inc()
@@ -438,32 +477,11 @@ func (s *Server) handleRateSet(rs *wire.RateSet, peer *net.UDPAddr) {
 	key := sessionKey{addr: peer.String(), testID: rs.TestID}
 	s.mu.Lock()
 	sess := s.sessions[key]
-	var clamped uint32
-	if sess != nil {
-		clamped = s.clampRateLocked(rs.RateKbps, sess)
-	}
 	s.mu.Unlock()
 	if sess == nil {
 		return
 	}
-	// Ignore stale (reordered) rate updates.
-	for {
-		cur := sess.rateSeq.Load()
-		if rs.Seq <= cur && cur != 0 {
-			return
-		}
-		if sess.rateSeq.CompareAndSwap(cur, rs.Seq) {
-			break
-		}
-	}
-	if clamped < rs.RateKbps {
-		s.metrics.rateClamped.Inc()
-	}
-	sess.rateKbps.Store(clamped)
-	sess.lastSeen.Store(time.Now().UnixNano())
-	s.mu.Lock()
-	s.updatePacedGaugeLocked()
-	s.mu.Unlock()
+	s.applyRate(sess, rs.RateKbps, rs.Seq)
 }
 
 func (s *Server) handleFin(fin *wire.Fin, peer *net.UDPAddr) {

@@ -1,0 +1,215 @@
+package transport
+
+import (
+	"net"
+	"time"
+
+	"github.com/mobilebandwidth/swiftest/internal/wire"
+)
+
+// Protocol v2 server side: the control/data channel split.
+//
+// Both channels arrive on the one server socket — the split is on the
+// client, which uses two sockets so probe floods never queue behind control
+// traffic. The server tells them apart by session ID: Setup registers the
+// session under the control-channel address, DataOpen (sent from the
+// client's data socket, hence a different source port) binds the pacing
+// destination. Until DataOpen lands the wheel paces nothing for the
+// session.
+
+// handleV2 dispatches one protocol-v2 control or data-channel datagram.
+// peer points into reused batch storage — handlers that keep it clone it.
+func (s *Server) handleV2(typ wire.Type, pkt []byte, peer *net.UDPAddr, out []byte) []byte {
+	switch typ {
+	case wire.TypeHello:
+		var h wire.Hello
+		if h.Decode(pkt) != nil {
+			return out
+		}
+		if h.MinVersion > wire.Version2 || h.MaxVersion < wire.Version2 {
+			return out // no common version; the client falls back or gives up
+		}
+		caps := h.Caps & wire.ServerCaps
+		s.mu.Lock()
+		s.helloCaps[peer.String()] = caps
+		s.mu.Unlock()
+		ack := wire.HelloAck{Version: wire.Version2, Caps: caps, Nonce: h.Nonce}
+		s.sendControl(ack.AppendTo(out), peer)
+
+	case wire.TypeSetup:
+		var setup wire.Setup
+		if setup.Decode(pkt) != nil {
+			return out
+		}
+		if s.dropV2Handshake(setup.SessionID, peer) {
+			s.metrics.faultsInjected.Inc()
+			return out
+		}
+		if s.cfg.AuthKey != 0 && !setup.Token.Verify(s.cfg.AuthKey) {
+			s.metrics.authRejects.Inc()
+			s.logf("session auth rejected", "peer", peer.String(), "session_id", setup.SessionID)
+			rej := wire.SetupReject{SessionID: setup.SessionID, Code: wire.RejectAuth}
+			s.sendControl(rej.AppendTo(out), peer)
+			return out
+		}
+		if !s.handleSetup(&setup, peer) {
+			rej := wire.SetupReject{SessionID: setup.SessionID, Code: wire.RejectBusy}
+			s.sendControl(rej.AppendTo(out), peer)
+			return out
+		}
+		ack := wire.SetupAck{
+			SessionID:        setup.SessionID,
+			Caps:             s.capsFor(peer),
+			ReportIntervalMS: uint32(reportInterval.Milliseconds()),
+		}
+		s.sendControl(ack.AppendTo(out), peer)
+
+	case wire.TypeDataOpen:
+		var do wire.DataOpen
+		if do.Decode(pkt) != nil {
+			return out
+		}
+		s.mu.Lock()
+		sess := s.byID[do.SessionID]
+		s.mu.Unlock()
+		if sess == nil {
+			return out // no such session; the client's setup never landed
+		}
+		// Re-binds are idempotent (DataOpen retransmits) and also cover a
+		// client whose NAT rebound the data socket mid-handshake.
+		sess.peer.Store(cloneUDPAddr(peer))
+		sess.lastSeen.Store(time.Now().UnixNano())
+		ack := wire.DataOpenAck{SessionID: do.SessionID}
+		s.sendControl(ack.AppendTo(out), peer)
+
+	case wire.TypeRate2:
+		var r wire.Rate2
+		if r.Decode(pkt) != nil {
+			return out
+		}
+		s.mu.Lock()
+		sess := s.byID[r.SessionID]
+		s.mu.Unlock()
+		if sess != nil {
+			s.applyRate(sess, r.RateKbps, r.Seq)
+		}
+
+	case wire.TypeBye:
+		var bye wire.Bye
+		if bye.Decode(pkt) != nil {
+			return out
+		}
+		s.mu.Lock()
+		sess := s.byID[bye.SessionID]
+		s.mu.Unlock()
+		if sess != nil && s.retire(sess) {
+			s.metrics.sessionsFinished.Inc()
+			s.metrics.resultMbps.Observe(wire.MbpsFromKbps(bye.ResultKbps))
+			if s.cfg.OnResult != nil {
+				s.cfg.OnResult(wire.MbpsFromKbps(bye.ResultKbps))
+			}
+			s.logf("test finished", "peer", peer.String(), "session_id", bye.SessionID,
+				"result_mbps", wire.MbpsFromKbps(bye.ResultKbps),
+				"trimmed_mbps", wire.MbpsFromKbps(bye.TrimmedKbps),
+				"peak_mbps", wire.MbpsFromKbps(bye.PeakKbps),
+				"regime", bye.Regime)
+		}
+		// Always ack, even for an unknown or already-retired session — the
+		// client may be retransmitting a Bye whose first ack was lost.
+		ack := wire.ByeAck{SessionID: bye.SessionID}
+		s.sendControl(ack.AppendTo(out), peer)
+	}
+	return out
+}
+
+// capsFor reads the capability set negotiated by the peer's last Hello,
+// defaulting to the full server set when the Hello was lost or skipped.
+func (s *Server) capsFor(peer *net.UDPAddr) uint32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if caps, ok := s.helloCaps[peer.String()]; ok {
+		return caps
+	}
+	return wire.ServerCaps
+}
+
+// handleSetup registers a v2 session. Reports whether the session exists
+// (created now, or an idempotent duplicate Setup); false means a session-ID
+// collision with another client.
+func (s *Server) handleSetup(setup *wire.Setup, peer *net.UDPAddr) bool {
+	key := sessionKey{addr: peer.String(), testID: setup.SessionID}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if existing := s.byID[setup.SessionID]; existing != nil {
+		return existing.key == key // duplicate Setup re-acked; foreign ID rejected
+	}
+	caps := wire.ServerCaps
+	if c, ok := s.helloCaps[peer.String()]; ok {
+		caps = c
+	}
+	sess := &session{
+		key:      key,
+		testID:   setup.SessionID,
+		v2:       true,
+		id:       setup.SessionID,
+		caps:     caps,
+		ctrlPeer: cloneUDPAddr(peer),
+	}
+	granted := s.clampRateLocked(setup.RateKbps, nil)
+	if granted < setup.RateKbps {
+		s.metrics.rateClamped.Inc()
+	}
+	sess.rateKbps.Store(granted)
+	sess.lastSeen.Store(time.Now().UnixNano())
+	s.sessions[key] = sess
+	s.byID[setup.SessionID] = sess
+	s.order = append(s.order, sess)
+	s.metrics.sessionsStarted.Inc()
+	s.metrics.v2Sessions.Inc()
+	s.metrics.sessionsActive.Inc()
+	s.updatePacedGaugeLocked()
+	s.logf("v2 test started", "peer", peer.String(), "session_id", setup.SessionID,
+		"rate_mbps", wire.MbpsFromKbps(setup.RateKbps))
+	return true
+}
+
+// applyRate applies one rate update to a session with the shared
+// stale-rejection and uplink-clamp rules — the v2 counterpart of
+// handleRateSet, operating on an already-resolved session.
+func (s *Server) applyRate(sess *session, kbps, seq uint32) {
+	s.mu.Lock()
+	clamped := s.clampRateLocked(kbps, sess)
+	s.mu.Unlock()
+	// Ignore stale (reordered) rate updates.
+	for {
+		cur := sess.rateSeq.Load()
+		if seq <= cur && cur != 0 {
+			return
+		}
+		if sess.rateSeq.CompareAndSwap(cur, seq) {
+			break
+		}
+	}
+	if clamped < kbps {
+		s.metrics.rateClamped.Inc()
+	}
+	sess.rateKbps.Store(clamped)
+	sess.lastSeen.Store(time.Now().UnixNano())
+	s.mu.Lock()
+	s.updatePacedGaugeLocked()
+	s.mu.Unlock()
+}
+
+// dropV2Handshake consults the fault plan for one Setup datagram, numbering
+// retransmissions per (peer, session) like the v1 handshake path.
+func (s *Server) dropV2Handshake(sessionID uint64, peer *net.UDPAddr) bool {
+	if s.cfg.Faults == nil {
+		return false
+	}
+	key := sessionKey{addr: peer.String(), testID: sessionID}
+	s.mu.Lock()
+	attempt := s.hsAttempts[key]
+	s.hsAttempts[key] = attempt + 1
+	s.mu.Unlock()
+	return s.cfg.Faults.DropHandshake(s.elapsed(), attempt)
+}

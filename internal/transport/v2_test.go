@@ -1,0 +1,264 @@
+package transport
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/mobilebandwidth/swiftest/internal/errdefs"
+	"github.com/mobilebandwidth/swiftest/internal/estimate"
+	"github.com/mobilebandwidth/swiftest/internal/obs"
+	"github.com/mobilebandwidth/swiftest/internal/wire"
+)
+
+// v2Probe opens a probe against one server with the given protocol policy.
+func v2Probe(t *testing.T, s *Server, proto Protocol, seed int64) *UDPProbe {
+	t.Helper()
+	pool := &ServerPool{Servers: []PoolServer{{Addr: s.Addr().String(), UplinkMbps: 100}}}
+	probe, err := NewUDPProbe(pool, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe.SetProtocol(proto)
+	return probe
+}
+
+// TestV2EndToEnd runs the two-channel protocol against the dual-stack server
+// on both syscall paths: negotiation lands on v2, paced throughput tracks
+// the request, per-interval Reports arrive, and the Bye retires the session
+// and delivers the result.
+func TestV2EndToEnd(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mode WireMode
+	}{
+		{"batched", WireAuto},
+		{"fallback", WireFallback},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			reg := obs.NewRegistry()
+			results := make(chan float64, 1)
+			s := startServer(t, ServerConfig{
+				UplinkMbps: 100, Wire: tc.mode, Metrics: reg,
+				OnResult: func(m float64) { results <- m },
+			})
+			probe := v2Probe(t, s, ProtoAuto, 11)
+			probe.SetWire(tc.mode)
+
+			const want = 20.0
+			if err := probe.SetRate(want); err != nil {
+				t.Fatal(err)
+			}
+			if ver := probe.NegotiatedVersion(); ver != 2 {
+				t.Fatalf("negotiated version = %d, want 2", ver)
+			}
+			probe.NextSample()
+			probe.NextSample()
+			var sum float64
+			const n = 10
+			for i := 0; i < n; i++ {
+				v, ok := probe.NextSample()
+				if !ok {
+					t.Fatal("sample stream ended")
+				}
+				sum += v
+			}
+			if got := sum / n; math.Abs(got-want)/want > 0.25 {
+				t.Errorf("v2 paced throughput = %.1f Mbps, want ≈%.0f", got, want)
+			}
+			// Half a second of samples spans several 100 ms report
+			// intervals; the loss view must have a baseline by now.
+			var reported bool
+			probe.mu.Lock()
+			for _, sess := range probe.sessions {
+				if sess.repBytes.Load() > 0 {
+					reported = true
+				}
+			}
+			probe.mu.Unlock()
+			if !reported {
+				t.Error("no server Report arrived on the control channel")
+			}
+			if loss := probe.ReportedLoss(); loss < 0 || loss >= 1 {
+				t.Errorf("reported loss = %g, want [0, 1)", loss)
+			}
+
+			probe.SetFinalReport(estimate.Estimates{
+				CrossingMbps: 21, TrimmedMeanMbps: 20, SustainedPeakMbps: 22, P90P80Mbps: 21,
+			}, estimate.RegimeStable)
+			probe.Finish(21.5, 600*time.Millisecond)
+			select {
+			case got := <-results:
+				if math.Abs(got-21.5) > 0.01 {
+					t.Errorf("Bye result = %g, want 21.5", got)
+				}
+			case <-time.After(2 * time.Second):
+				t.Fatal("server never received the Bye result")
+			}
+			deadline := time.Now().Add(2 * time.Second)
+			for s.ActiveSessions() != 0 && time.Now().Before(deadline) {
+				time.Sleep(10 * time.Millisecond)
+			}
+			if n := s.ActiveSessions(); n != 0 {
+				t.Errorf("active sessions = %d after Bye, want 0", n)
+			}
+			if got := reg.Counter("swiftest_server_v2_sessions_total", "").Value(); got != 1 {
+				t.Errorf("v2 sessions counter = %d, want 1", got)
+			}
+		})
+	}
+}
+
+// TestV2FallsBackToV1 pins the negotiated downgrade: a legacy (v1-only)
+// server never answers the Hello, and the ProtoAuto client completes the
+// test over the single-socket protocol.
+func TestV2FallsBackToV1(t *testing.T) {
+	s := startServer(t, ServerConfig{UplinkMbps: 100, v1Only: true})
+	probe := v2Probe(t, s, ProtoAuto, 12)
+	if err := probe.SetRate(15); err != nil {
+		t.Fatal(err)
+	}
+	defer probe.Finish(0, 0)
+	if ver := probe.NegotiatedVersion(); ver != 1 {
+		t.Fatalf("negotiated version = %d, want 1 (fallback)", ver)
+	}
+	probe.NextSample()
+	probe.NextSample()
+	var sum float64
+	for i := 0; i < 6; i++ {
+		v, _ := probe.NextSample()
+		sum += v
+	}
+	if got := sum / 6; math.Abs(got-15)/15 > 0.3 {
+		t.Errorf("fallback throughput = %.1f Mbps, want ≈15", got)
+	}
+	if loss := probe.ReportedLoss(); loss != 0 {
+		t.Errorf("v1 session reported loss = %g, want 0 (no Reports on v1)", loss)
+	}
+}
+
+// TestProtoV2RequiredRejectsLegacyServer: a client pinned to v2 fails fast
+// against a legacy server, with the protocol mismatch in the error chain.
+func TestProtoV2RequiredRejectsLegacyServer(t *testing.T) {
+	s := startServer(t, ServerConfig{UplinkMbps: 100, v1Only: true})
+	probe := v2Probe(t, s, ProtoV2, 13)
+	defer probe.Finish(0, 0)
+	err := probe.SetRate(10)
+	if err == nil {
+		t.Fatal("SetRate succeeded against a v1-only server with ProtoV2 pinned")
+	}
+	if !errors.Is(err, errdefs.ErrProtocolUnsupported) {
+		t.Errorf("error = %v, want errdefs.ErrProtocolUnsupported in the chain", err)
+	}
+}
+
+// TestV2AuthRejection locks the server with a fleet key: an unauthenticated
+// v2 Setup is refused — observable in both the client error chain and the
+// server's auth-reject counter — while a client holding a minted token is
+// admitted.
+func TestV2AuthRejection(t *testing.T) {
+	const key = 0xfeedface12345678
+	reg := obs.NewRegistry()
+	s := startServer(t, ServerConfig{UplinkMbps: 100, AuthKey: key, Metrics: reg})
+
+	// No token: refused, and the refusal is not retried into oblivion.
+	probe := v2Probe(t, s, ProtoV2, 14)
+	err := probe.SetRate(10)
+	probe.Finish(0, 0)
+	if err == nil {
+		t.Fatal("unauthenticated SetRate succeeded against a keyed server")
+	}
+	if !errors.Is(err, errdefs.ErrAuthRejected) {
+		t.Errorf("error = %v, want errdefs.ErrAuthRejected in the chain", err)
+	}
+	if got := reg.Counter("swiftest_server_auth_rejects_total", "").Value(); got == 0 {
+		t.Error("auth-reject counter did not move")
+	}
+
+	// Minted token: admitted.
+	okProbe := v2Probe(t, s, ProtoV2, 15)
+	okProbe.SetToken(wire.MintToken(key, 7, 42))
+	if err := okProbe.SetRate(10); err != nil {
+		t.Fatalf("authenticated SetRate: %v", err)
+	}
+	okProbe.NextSample()
+	if v, ok := okProbe.NextSample(); !ok || v <= 0 {
+		t.Errorf("authenticated session sample = (%.1f, %v), want traffic", v, ok)
+	}
+	okProbe.Finish(0, 0)
+
+	// A forged token (wrong key) is refused like a missing one.
+	forged := v2Probe(t, s, ProtoV2, 16)
+	forged.SetToken(wire.MintToken(key^1, 7, 42))
+	err = forged.SetRate(10)
+	forged.Finish(0, 0)
+	if !errors.Is(err, errdefs.ErrAuthRejected) {
+		t.Errorf("forged-token error = %v, want errdefs.ErrAuthRejected", err)
+	}
+}
+
+// TestV1ClientAdmittedByKeyedServer pins the compatibility policy: lease
+// authentication gates only v2 Setups — a legacy client has no token field
+// to check and is served as before.
+func TestV1ClientAdmittedByKeyedServer(t *testing.T) {
+	s := startServer(t, ServerConfig{UplinkMbps: 100, AuthKey: 0xabc})
+	probe := v2Probe(t, s, ProtoV1, 17)
+	defer probe.Finish(0, 0)
+	if err := probe.SetRate(10); err != nil {
+		t.Fatalf("v1 client against keyed server: %v", err)
+	}
+	if ver := probe.NegotiatedVersion(); ver != 1 {
+		t.Fatalf("negotiated version = %d, want 1", ver)
+	}
+	probe.NextSample()
+	if v, ok := probe.NextSample(); !ok || v <= 0 {
+		t.Errorf("v1 sample = (%.1f, %v), want traffic", v, ok)
+	}
+}
+
+// TestV1PinnedStreamIsV1 verifies a ProtoV1 probe sees only version-1 Data
+// frames from the dual-stack server — the byte-level face of "a v2 server
+// serves legacy clients an unchanged stream". (The wheel-level identity
+// tests pin the exact digests.)
+func TestV1PinnedStreamIsV1(t *testing.T) {
+	s := startServer(t, ServerConfig{UplinkMbps: 100})
+	probe := v2Probe(t, s, ProtoV1, 18)
+	defer probe.Finish(0, 0)
+	if err := probe.SetRate(10); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(300 * time.Millisecond)
+	probe.mu.Lock()
+	defer probe.mu.Unlock()
+	for _, sess := range probe.sessions {
+		if sess.v2 {
+			t.Error("ProtoV1 probe opened a v2 session")
+		}
+	}
+	if probe.rxBytes.Load() == 0 {
+		t.Error("no v1 traffic delivered")
+	}
+}
+
+func TestParseProtocol(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Protocol
+		ok   bool
+	}{
+		{"auto", ProtoAuto, true},
+		{"", ProtoAuto, true},
+		{"v1", ProtoV1, true},
+		{"1", ProtoV1, true},
+		{"v2", ProtoV2, true},
+		{"2", ProtoV2, true},
+		{"v3", ProtoAuto, false},
+	} {
+		got, err := ParseProtocol(tc.in)
+		if (err == nil) != tc.ok || (tc.ok && got != tc.want) {
+			t.Errorf("ParseProtocol(%q) = (%v, %v), want (%v, ok=%v)", tc.in, got, err, tc.want, tc.ok)
+		}
+	}
+}

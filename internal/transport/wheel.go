@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"net"
 	"time"
 
 	"github.com/mobilebandwidth/swiftest/internal/transport/batchio"
@@ -71,8 +72,15 @@ func (s *Server) advance(now time.Time) {
 		if now.UnixNano()-sess.lastSeen.Load() > int64(s.cfg.IdleTimeout) {
 			if s.retire(sess) {
 				s.metrics.sessionsReaped.Inc()
-				s.logf("session idle timeout", "peer", sess.peer.String(), "test_id", sess.testID) //lint:allow hotpath reap is a cold once-per-session exit
+				s.logf("session idle timeout", "test_id", sess.testID) //lint:allow hotpath reap is a cold once-per-session exit
 			}
+			continue
+		}
+		peer := sess.peer.Load()
+		if peer == nil {
+			// v2 session still waiting for its DataOpen: nowhere to pace to
+			// yet, and no budget accrues until the data channel binds.
+			sess.carryBytes = 0
 			continue
 		}
 		rate := wire.MbpsFromKbps(sess.rateKbps.Load())
@@ -107,9 +115,37 @@ func (s *Server) advance(now time.Time) {
 		if maxCarry := rate * 1e6 * 2 * paceInterval.Seconds() / 8; sess.carryBytes > maxCarry {
 			sess.carryBytes = maxCarry
 		}
-		s.assemble(sess, at, uint64(now.UnixNano()))
+		s.assemble(sess, peer, at, uint64(now.UnixNano()))
+		if sess.v2 && sess.caps&wire.CapReports != 0 {
+			if sess.lastReport.IsZero() || now.Sub(sess.lastReport) >= reportInterval {
+				sess.lastReport = now
+				sess.reportSeq++
+				s.appendReport(sess)
+			}
+		}
 	}
 	s.flush()
+}
+
+// reportInterval is the cadence of per-interval server Reports on v2
+// sessions with CapReports active: two client sample windows, so every
+// loss computation sees fresh cumulative counters.
+const reportInterval = 100 * time.Millisecond
+
+// appendReport queues one control-channel Report carrying the session's
+// cumulative paced traffic; it rides the tick's normal batched flush.
+//
+// swiftvet:hotpath
+func (s *Server) appendReport(sess *session) {
+	buf := s.pool.get()
+	s.bufs = append(s.bufs, buf)
+	r := wire.Report{
+		SessionID:     sess.id,
+		Seq:           sess.reportSeq,
+		SentBytes:     sess.sentBytes,
+		SentDatagrams: sess.sentDatagrams,
+	}
+	s.appendMsg(buf, r.AppendTo(buf.b[:0]), sess.ctrlPeer)
 }
 
 // assemble drains one session's byte budget into pooled super-buffers:
@@ -120,11 +156,12 @@ func (s *Server) advance(now time.Time) {
 // byte-identical across the refactor.
 //
 // swiftvet:hotpath
-func (s *Server) assemble(sess *session, at time.Duration, sentNS uint64) {
+func (s *Server) assemble(sess *session, peer *net.UDPAddr, at time.Duration, sentNS uint64) {
 	var buf *pktBuf
 	used := 0   // segments stamped into buf
 	msgLow := 0 // first unpackaged segment in buf
 	d := wire.Data{TestID: sess.testID, SentNS: sentNS}
+	d2 := wire.Data2{SessionID: sess.id, SentNS: sentNS}
 
 	for sess.carryBytes >= DatagramSize {
 		sess.carryBytes -= DatagramSize
@@ -139,23 +176,33 @@ func (s *Server) assemble(sess *session, at time.Duration, sentNS uint64) {
 			s.bufs = append(s.bufs, buf)
 			used, msgLow = 0, 0
 		}
-		d.Seq = sess.seq
-		d.EncodeHeader(buf.b[used*DatagramSize:])
+		// The two protocol generations share the exact header geometry
+		// (DataHeaderLen), so the segment layout, offload setup and buffer
+		// arithmetic are version-blind — only the stamp differs.
+		if sess.v2 {
+			d2.Seq = sess.seq
+			d2.EncodeHeader(buf.b[used*DatagramSize:])
+		} else {
+			d.Seq = sess.seq
+			d.EncodeHeader(buf.b[used*DatagramSize:])
+		}
 		used++
+		sess.sentBytes += DatagramSize
+		sess.sentDatagrams++
 		if !s.gso {
 			// One message per datagram; identical bytes, more crossings.
-			s.appendMsg(buf, buf.b[(used-1)*DatagramSize:used*DatagramSize], sess)
+			s.appendMsg(buf, buf.b[(used-1)*DatagramSize:used*DatagramSize], peer)
 			msgLow = used
 		}
 		if used == segsPerBuf {
 			if s.gso && used > msgLow {
-				s.appendMsg(buf, buf.b[msgLow*DatagramSize:used*DatagramSize], sess)
+				s.appendMsg(buf, buf.b[msgLow*DatagramSize:used*DatagramSize], peer)
 			}
 			buf = nil
 		}
 	}
 	if buf != nil && s.gso && used > msgLow {
-		s.appendMsg(buf, buf.b[msgLow*DatagramSize:used*DatagramSize], sess)
+		s.appendMsg(buf, buf.b[msgLow*DatagramSize:used*DatagramSize], peer)
 	}
 }
 
@@ -163,9 +210,9 @@ func (s *Server) assemble(sess *session, at time.Duration, sentNS uint64) {
 // reference on it for the in-flight message.
 //
 // swiftvet:hotpath
-func (s *Server) appendMsg(buf *pktBuf, chunk []byte, sess *session) {
+func (s *Server) appendMsg(buf *pktBuf, chunk []byte, addr *net.UDPAddr) {
 	buf.retain()
-	s.msgs = append(s.msgs, batchio.Message{Buf: chunk, Addr: sess.peer})
+	s.msgs = append(s.msgs, batchio.Message{Buf: chunk, Addr: addr})
 	s.msgBufs = append(s.msgBufs, buf)
 }
 
@@ -221,6 +268,12 @@ func (s *Server) retire(sess *session) bool {
 	}
 	s.mu.Lock()
 	delete(s.sessions, sess.key)
+	if sess.v2 {
+		delete(s.byID, sess.id)
+		if sess.ctrlPeer != nil {
+			delete(s.helloCaps, sess.ctrlPeer.String())
+		}
+	}
 	for i, o := range s.order {
 		if o == sess {
 			s.order = append(s.order[:i], s.order[i+1:]...)

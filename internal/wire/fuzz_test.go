@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 )
 
@@ -20,17 +21,24 @@ func FuzzDecode(f *testing.F) {
 	f.Add((&Data{TestID: 11, Seq: 12, SentNS: 13, Payload: []byte{1, 2, 3}}).AppendTo(nil))
 	f.Add((&Fin{TestID: 14, ResultKbps: 15, DurationMS: 16}).AppendTo(nil))
 	f.Add((&FinAck{TestID: 17}).AppendTo(nil))
+	f.Add((&Hello{MinVersion: 1, MaxVersion: 2, Caps: 3, Nonce: 18}).AppendTo(nil))
+	f.Add((&Setup{SessionID: 19, RateKbps: 20, Token: MintToken(1, 2, 3)}).AppendTo(nil))
+	f.Add((&Rate2{SessionID: 21, RateKbps: 22, Seq: 23}).AppendTo(nil))
+	f.Add((&Report{SessionID: 24, Seq: 25, SentBytes: 26, SentDatagrams: 27}).AppendTo(nil))
+	f.Add((&Data2{SessionID: 28, Seq: 29, SentNS: 30, Payload: []byte{4, 5}}).AppendTo(nil))
+	f.Add((&Bye{SessionID: 31, ResultKbps: 32, DurationMS: 33, Regime: 2}).AppendTo(nil))
 
 	f.Fuzz(func(t *testing.T, b []byte) {
-		// PeekType must never panic and must reject anything shorter than
-		// the header.
-		typ, err := PeekType(b)
+		// PeekVersion must never panic and must reject anything shorter
+		// than the header.
+		ver, typ, err := PeekVersion(b)
 		if err != nil {
-			if len(b) >= HeaderLen && err == ErrTruncated {
+			if len(b) >= HeaderLen && errors.Is(err, ErrTruncated) {
 				t.Fatalf("ErrTruncated on %d-byte input", len(b))
 			}
 			return
 		}
+		_ = ver
 		_ = typ.String()
 
 		var ping Ping
@@ -65,6 +73,40 @@ func FuzzDecode(f *testing.F) {
 			var again Fin
 			if again.Decode(round) != nil || again != fin {
 				t.Fatal("Fin decode/encode not idempotent")
+			}
+		}
+		var su Setup
+		if su.Decode(b) == nil {
+			round := su.AppendTo(nil)
+			var again Setup
+			if again.Decode(round) != nil || again != su {
+				t.Fatal("Setup decode/encode not idempotent")
+			}
+		}
+		var rep Report
+		if rep.Decode(b) == nil {
+			round := rep.AppendTo(nil)
+			var again Report
+			if again.Decode(round) != nil || again != rep {
+				t.Fatal("Report decode/encode not idempotent")
+			}
+		}
+		var d2 Data2
+		if d2.Decode(b) == nil {
+			round := d2.AppendTo(nil)
+			var again Data2
+			if again.Decode(round) != nil ||
+				again.SessionID != d2.SessionID || again.Seq != d2.Seq || again.SentNS != d2.SentNS ||
+				string(again.Payload) != string(d2.Payload) {
+				t.Fatal("Data2 decode/encode not idempotent")
+			}
+		}
+		var bye Bye
+		if bye.Decode(b) == nil {
+			round := bye.AppendTo(nil)
+			var again Bye
+			if again.Decode(round) != nil || again != bye {
+				t.Fatal("Bye decode/encode not idempotent")
 			}
 		}
 	})

@@ -71,6 +71,9 @@ func (t Type) String() string {
 	case TypeFinAck:
 		return "fin-ack"
 	default:
+		if s, ok := v2TypeString(t); ok {
+			return s
+		}
 		return fmt.Sprintf("unknown(%d)", uint8(t))
 	}
 }

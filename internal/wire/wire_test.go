@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -168,22 +169,22 @@ func TestDecodeErrors(t *testing.T) {
 	valid := (&Ping{Seq: 1}).AppendTo(nil)
 
 	var p Ping
-	if err := p.Decode(valid[:3]); err != ErrTruncated {
+	if err := p.Decode(valid[:3]); !errors.Is(err, ErrTruncated) {
 		t.Errorf("short header: %v, want ErrTruncated", err)
 	}
-	if err := p.Decode(valid[:PingLen-1]); err != ErrTruncated {
+	if err := p.Decode(valid[:PingLen-1]); !errors.Is(err, ErrTruncated) {
 		t.Errorf("short body: %v, want ErrTruncated", err)
 	}
 
 	bad := append([]byte(nil), valid...)
 	bad[0] = 0
-	if err := p.Decode(bad); err != ErrBadMagic {
+	if err := p.Decode(bad); !errors.Is(err, ErrBadMagic) {
 		t.Errorf("bad magic: %v, want ErrBadMagic", err)
 	}
 
 	badVer := append([]byte(nil), valid...)
 	badVer[2] = 99
-	if err := p.Decode(badVer); err != ErrBadVersion {
+	if err := p.Decode(badVer); !errors.Is(err, ErrBadVersion) {
 		t.Errorf("bad version: %v, want ErrBadVersion", err)
 	}
 

@@ -3,6 +3,7 @@ package swiftest_test
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -32,7 +33,7 @@ func parseRunRecord(t *testing.T, r io.Reader) (map[string]string, []string) {
 	if err := json.Unmarshal(sc.Bytes(), &header); err != nil {
 		t.Fatalf("header does not parse: %v", err)
 	}
-	if header.Type != "meta" || header.Schema != "swiftest-run-record/v1" {
+	if header.Type != "meta" || header.Schema != "swiftest-run-record/v2" {
 		t.Fatalf("bad header: %+v", header)
 	}
 	var kinds []string
@@ -74,10 +75,11 @@ func TestEmulatedRunRecordAndMetrics(t *testing.T) {
 	}
 	trace := swiftest.NewTrace(0)
 	reg := swiftest.NewMetricsRegistry()
-	res, err := swiftest.SimulateTestObserved(
+	res, err := swiftest.SimulateTestContext(
+		context.Background(),
 		swiftest.LinkConfig{CapacityMbps: 300, Fluctuation: 0.01, Seed: 7},
 		model,
-		swiftest.SimulateOptions{Trace: trace, Metrics: reg},
+		swiftest.SimulateOptions{SessionOptions: swiftest.SessionOptions{Trace: trace, Metrics: reg}},
 	)
 	if err != nil {
 		t.Fatal(err)
@@ -97,8 +99,12 @@ func TestEmulatedRunRecordAndMetrics(t *testing.T) {
 	if !hasKind(kinds, "sample") || !hasKind(kinds, "converge_check") {
 		t.Errorf("missing core event kinds: %v", kinds)
 	}
-	if res.Converged && kinds[len(kinds)-1] != "converged" {
-		t.Errorf("last event = %q on a converged test", kinds[len(kinds)-1])
+	if res.Converged && !hasKind(kinds, "converged") {
+		t.Errorf("no converged event on a converged test: %v", kinds)
+	}
+	// The v2 record closes with the estimator family and the BDP regime.
+	if !hasKind(kinds, "estimate") || kinds[len(kinds)-1] != "bdp_regime" {
+		t.Errorf("v2 tail events missing (estimates + bdp_regime): %v", kinds)
 	}
 
 	snap := reg.Snapshot()
@@ -134,12 +140,11 @@ func TestLoopbackRunRecordAndMetrics(t *testing.T) {
 	}
 	trace := swiftest.NewTrace(0)
 	res, err := swiftest.Test(swiftest.TestOptions{
-		Servers:     []swiftest.ServerAddr{{Addr: srv.Addr(), UplinkMbps: 60}},
-		Model:       model,
-		MaxDuration: 4 * time.Second,
-		Seed:        1,
-		Trace:       trace,
-		Metrics:     reg,
+		SessionOptions: swiftest.SessionOptions{Trace: trace, Metrics: reg},
+		Servers:        []swiftest.ServerAddr{{Addr: srv.Addr(), UplinkMbps: 60}},
+		Model:          model,
+		MaxDuration:    4 * time.Second,
+		Seed:           1,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -99,7 +99,7 @@ func TestProfileSimulationIsDeterministic(t *testing.T) {
 		res, err := swiftest.SimulateTestObserved(
 			swiftest.LinkConfig{Seed: seed},
 			model,
-			swiftest.SimulateOptions{Profile: p, Trace: trace},
+			swiftest.SimulateOptions{SessionOptions: swiftest.SessionOptions{Trace: trace}, Profile: p},
 		)
 		if err != nil {
 			t.Fatalf("%s seed %d: %v", profileName, seed, err)

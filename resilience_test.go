@@ -108,15 +108,17 @@ func simFailover(t *testing.T) (swiftest.Result, *swiftest.Trace) {
 		Fluctuation:  0.01,
 		Seed:         21,
 	}, failoverModel(t), swiftest.SimulateOptions{
-		Trace: tr,
+		SessionOptions: swiftest.SessionOptions{
+			Trace: tr,
+			Faults: &swiftest.FaultPlan{Seed: 7, Faults: []swiftest.Fault{
+				{Kind: swiftest.FaultBlackout, Server: 1, AtMS: 450},
+			}},
+		},
 		Servers: []swiftest.SimServer{
 			{Addr: "srv-a", UplinkMbps: 200},
 			{Addr: "srv-b", UplinkMbps: 200},
 			{Addr: "srv-c", UplinkMbps: 200},
 		},
-		Faults: &swiftest.FaultPlan{Seed: 7, Faults: []swiftest.Fault{
-			{Kind: swiftest.FaultBlackout, Server: 1, AtMS: 450},
-		}},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -209,11 +211,11 @@ func TestLoopbackFaultyServerPublic(t *testing.T) {
 	}
 	reg := swiftest.NewMetricsRegistry()
 	res, err := swiftest.Test(swiftest.TestOptions{
-		Servers:     []swiftest.ServerAddr{{Addr: srv.Addr(), UplinkMbps: 50}},
-		Model:       model,
-		MaxDuration: 3 * time.Second,
-		Seed:        2,
-		Metrics:     reg,
+		SessionOptions: swiftest.SessionOptions{Metrics: reg},
+		Servers:        []swiftest.ServerAddr{{Addr: srv.Addr(), UplinkMbps: 50}},
+		Model:          model,
+		MaxDuration:    3 * time.Second,
+		Seed:           2,
 	})
 	if err != nil {
 		t.Fatal(err)

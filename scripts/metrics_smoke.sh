@@ -49,7 +49,7 @@ done
 "$WORK/swiftest" test -servers "$SERVE_ADDR@100" -max 2s -trace "$WORK/run.jsonl"
 
 # The run-record must carry the documented schema tag in its header line.
-head -1 "$WORK/run.jsonl" | grep -q '"schema":"swiftest-run-record/v1"' || {
+head -1 "$WORK/run.jsonl" | grep -q '"schema":"swiftest-run-record/v2"' || {
   echo "run-record header missing schema tag:" >&2
   head -1 "$WORK/run.jsonl" >&2
   exit 1

@@ -1,0 +1,126 @@
+#!/usr/bin/env bash
+# Protocol interop smoke: the CI gate for the two-generation wire protocol.
+#
+#  1. A current (dual-stack) server serves a v1-pinned client — the legacy
+#     single-socket protocol still works against new servers.
+#  2. v2 <-> v2 completes under each wire mode (batched and fallback), and
+#     the run-record carries the v2 schema with the estimator/regime tail.
+#  3. A ProtoAuto client against the same server negotiates v2.
+#  4. A keyed server refuses an untokened v2 client — observable in both the
+#     exit status and the auth-reject counter — and admits a tokened one.
+#
+# All listeners bind ephemeral ports; addresses are scraped from logs.
+set -euo pipefail
+
+WORK="$(mktemp -d)"
+trap 'kill ${PIDS:-} 2>/dev/null || true; rm -rf "$WORK"' EXIT
+PIDS=
+
+go build -o "$WORK/swiftest" ./cmd/swiftest
+
+# start_server <logfile> <extra flags...>; echoes "serve_addr metrics_addr"
+start_server() {
+  local log="$1"; shift
+  "$WORK/swiftest" serve -addr 127.0.0.1:0 -uplink 100 -metrics 127.0.0.1:0 "$@" \
+    > "$log" 2>&1 &
+  local pid=$!
+  PIDS="$PIDS $pid"
+  local serve= metrics=
+  for i in $(seq 1 50); do
+    serve="$(sed -n 's/^swiftest server listening on \([^ ]*\).*/\1/p' "$log")"
+    metrics="$(sed -n 's|^metrics on http://\([^/]*\)/metrics.*|\1|p' "$log")"
+    [ -n "$serve" ] && [ -n "$metrics" ] && break
+    if ! kill -0 "$pid" 2>/dev/null; then
+      echo "server exited before logging its addresses:" >&2
+      cat "$log" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+  if [ -z "$serve" ] || [ -z "$metrics" ]; then
+    echo "could not parse listen addresses from $log:" >&2
+    cat "$log" >&2
+    exit 1
+  fi
+  echo "$serve $metrics"
+}
+
+run_test() { # run_test <outfile> <args...>
+  local out="$1"; shift
+  "$WORK/swiftest" test -max 2s "$@" > "$out" 2>"$out.err"
+}
+
+expect_proto() { # expect_proto <outfile> <v1|v2> <label>
+  grep -q "^protocol  : $2\$" "$1" || {
+    echo "$3: expected negotiated protocol $2:" >&2
+    cat "$1" >&2
+    exit 1
+  }
+}
+
+# --- 1-3: open dual-stack server, both wire modes ---------------------------
+for mode in auto fallback; do
+  read -r ADDR METRICS <<< "$(start_server "$WORK/serve-$mode.log" -wire "$mode")"
+
+  run_test "$WORK/v1-$mode.txt" -servers "$ADDR@100" -protocol v1
+  expect_proto "$WORK/v1-$mode.txt" v1 "v1 client, $mode server"
+
+  run_test "$WORK/v2-$mode.txt" -servers "$ADDR@100" -protocol v2 \
+    -trace "$WORK/v2-$mode.jsonl"
+  expect_proto "$WORK/v2-$mode.txt" v2 "v2 client, $mode server"
+
+  run_test "$WORK/auto-$mode.txt" -servers "$ADDR@100"
+  expect_proto "$WORK/auto-$mode.txt" v2 "auto client, $mode server"
+
+  head -1 "$WORK/v2-$mode.jsonl" | grep -q '"schema":"swiftest-run-record/v2"' || {
+    echo "run-record header missing the v2 schema tag ($mode):" >&2
+    head -1 "$WORK/v2-$mode.jsonl" >&2
+    exit 1
+  }
+  for kind in estimate bdp_regime; do
+    grep -q "\"kind\":\"$kind\"" "$WORK/v2-$mode.jsonl" || {
+      echo "run-record missing $kind event ($mode)" >&2
+      exit 1
+    }
+  done
+
+  # The server saw exactly the sessions we opened, and the v2 ones as v2.
+  curl -fsS "http://$METRICS/metrics" > "$WORK/metrics-$mode.txt"
+  grep -q '^swiftest_server_v2_sessions_total 2' "$WORK/metrics-$mode.txt" || {
+    echo "expected 2 v2 sessions on the $mode server:" >&2
+    grep '^swiftest_server_\(v2_\)\?sessions' "$WORK/metrics-$mode.txt" >&2
+    exit 1
+  }
+done
+
+# --- 4: lease-auth rejection ------------------------------------------------
+KEY=5857300629132885844   # arbitrary non-zero deployment key
+read -r ADDR METRICS <<< "$(start_server "$WORK/serve-keyed.log" -authkey "$KEY")"
+
+if run_test "$WORK/noauth.txt" -servers "$ADDR@100" -protocol v2; then
+  echo "untokened v2 client was admitted by a keyed server:" >&2
+  cat "$WORK/noauth.txt" >&2
+  exit 1
+fi
+grep -q "auth" "$WORK/noauth.txt.err" || {
+  echo "rejection did not name auth:" >&2
+  cat "$WORK/noauth.txt.err" >&2
+  exit 1
+}
+curl -fsS "http://$METRICS/metrics" > "$WORK/metrics-keyed.txt"
+REJECTS="$(sed -n 's/^swiftest_server_auth_rejects_total \([0-9]*\)$/\1/p' "$WORK/metrics-keyed.txt")"
+if [ -z "$REJECTS" ] || [ "$REJECTS" -lt 1 ]; then
+  echo "auth-reject counter did not move:" >&2
+  grep '^swiftest_server_auth' "$WORK/metrics-keyed.txt" >&2 || true
+  exit 1
+fi
+
+TOKEN="$("$WORK/swiftest" token -authkey "$KEY" -server 0 -seq 1)"
+run_test "$WORK/auth.txt" -servers "$ADDR@100" -protocol v2 -token "$TOKEN"
+expect_proto "$WORK/auth.txt" v2 "tokened client, keyed server"
+
+# A v1 client has no token field and must still be served by a keyed server.
+run_test "$WORK/v1-keyed.txt" -servers "$ADDR@100" -protocol v1
+expect_proto "$WORK/v1-keyed.txt" v1 "v1 client, keyed server"
+
+echo "protocol smoke passed: v1 fallback, v2 on both wire modes, auth rejects=$REJECTS"

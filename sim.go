@@ -8,6 +8,7 @@ import (
 	"github.com/mobilebandwidth/swiftest/internal/baseline"
 	"github.com/mobilebandwidth/swiftest/internal/core"
 	"github.com/mobilebandwidth/swiftest/internal/emu"
+	"github.com/mobilebandwidth/swiftest/internal/estimate"
 	"github.com/mobilebandwidth/swiftest/internal/linksim"
 	"github.com/mobilebandwidth/swiftest/internal/ranprofile"
 )
@@ -78,7 +79,7 @@ func (c LinkConfig) newLink(profile *Profile, trace *Trace, metrics *MetricsRegi
 // in virtual time (microseconds of wall clock). It exercises exactly the
 // same probing engine as Test.
 func SimulateTest(link LinkConfig, model *Model) (Result, error) {
-	return SimulateTestObserved(link, model, SimulateOptions{})
+	return SimulateTestContext(context.Background(), link, model, SimulateOptions{})
 }
 
 // SimServer describes one emulated test server in a multi-server
@@ -89,27 +90,20 @@ func SimulateTest(link LinkConfig, model *Model) (Result, error) {
 type SimServer = core.SimServer
 
 // SimulateOptions attaches observability and fault scenarios to an
-// emulated test.
+// emulated test. Trace events are stamped in virtual time — the same
+// run-record schema as a live Test — and Faults inject the plan into the
+// emulated pool (fault times are virtual milliseconds since the test
+// started; server indexes refer to Servers order).
 type SimulateOptions struct {
-	// Trace, when non-nil, receives the structured events of the test,
-	// stamped in virtual time — the same run-record schema as a live Test.
-	Trace *Trace
-	// Metrics, when non-nil, aggregates engine outcomes across simulations.
-	Metrics *MetricsRegistry
+	// SessionOptions carries the trace, metrics, resilience, and fault
+	// knobs shared with the live runner (TestOptions).
+	SessionOptions
 	// Servers, when non-empty, emulates a multi-server pool sharing the
 	// access link: the probing rate is split nearest-first under each
 	// server's uplink cap, exactly like the real transport, and mid-test
 	// server loss triggers the same failover. Empty emulates one uncapped
 	// server.
 	Servers []SimServer
-	// Faults, when non-nil, injects the plan into the emulated pool.
-	// Fault times are virtual milliseconds since the test started; server
-	// indexes refer to Servers order.
-	Faults *FaultPlan
-	// LostAfter is K, the consecutive silent sample windows after which an
-	// emulated server session is declared lost; zero selects the default
-	// (4 windows = 200 ms), matching the live client.
-	LostAfter int
 	// Profile, when non-nil, drives the emulated link through a RAN
 	// scenario's state machine seeded from link.Seed: capacity, RTT, loss
 	// and jitter follow the chain's states, and mid-test handovers durably
@@ -117,20 +111,25 @@ type SimulateOptions struct {
 	// are ignored while the profile drives the link. State changes and
 	// handovers appear in Trace, dwell/handover instruments in Metrics.
 	Profile *Profile
+	// RegimeHint feeds the BDP-regime classifier back into the engine as a
+	// convergence hint, exactly as on the live path. Off by default.
+	RegimeHint bool
 }
 
-// SimulateTestObserved is SimulateTest with options attached: the emulator
-// reuses the exact instrumentation of the live path, so run-records from
-// virtual and real tests are directly comparable. It is
-// SimulateTestContext with a background context.
+// SimulateTestObserved is SimulateTestContext with a background context.
+//
+// Deprecated: use SimulateTestContext; the options struct now embeds
+// SessionOptions shared with the live runner.
 func SimulateTestObserved(link LinkConfig, model *Model, opts SimulateOptions) (Result, error) {
 	return SimulateTestContext(context.Background(), link, model, opts)
 }
 
-// SimulateTestContext is SimulateTestObserved bounded by a context. The
-// emulator runs in virtual time, so the context matters only for aborting
-// long parameter sweeps between samples; cancellation returns an error
-// wrapping ErrTestAborted, like a live test.
+// SimulateTestContext runs one Swiftest test on an emulated link with
+// options attached: the emulator reuses the exact instrumentation of the
+// live path, so run-records from virtual and real tests are directly
+// comparable. The emulator runs in virtual time, so the context matters only
+// for aborting long parameter sweeps between samples; cancellation returns
+// an error wrapping ErrTestAborted, like a live test.
 func SimulateTestContext(ctx context.Context, link LinkConfig, model *Model, opts SimulateOptions) (Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -176,9 +175,10 @@ func SimulateTestContext(ctx context.Context, link LinkConfig, model *Model, opt
 	}
 	defer probe.Close()
 	res, err := core.RunContext(ctx, probe, core.Config{
-		Model:   model,
-		Trace:   opts.Trace,
-		Metrics: core.NewEngineMetrics(opts.Metrics),
+		Model:      model,
+		Trace:      opts.Trace,
+		Metrics:    core.NewEngineMetrics(opts.Metrics),
+		RegimeHint: opts.RegimeHint,
 	})
 	if err != nil {
 		return Result{}, err
@@ -193,15 +193,29 @@ type BaselineReport struct {
 	Duration      time.Duration
 	DataMB        float64
 	Connections   int
+	// Estimates is the protocol-v2 estimator family over the baseline's
+	// 50 ms samples — the same struct Result carries, so baselines and
+	// Swiftest are comparable estimator by estimator.
+	Estimates Estimates
+	// Regime classifies the baseline's bandwidth trajectory (RTT-blind:
+	// the baselines expose no RTT stream, so only bandwidth-shape regimes
+	// such as shaping are detectable).
+	Regime BDPRegime
 }
 
 func fromBaseline(name string, r baseline.Report) BaselineReport {
+	traj := make([]estimate.TrajectoryPoint, len(r.Samples))
+	for i, s := range r.Samples {
+		traj[i] = estimate.TrajectoryPoint{At: time.Duration(i+1) * 50 * time.Millisecond, Mbps: s}
+	}
 	return BaselineReport{
 		System:        name,
 		BandwidthMbps: r.Result,
 		Duration:      r.Duration,
 		DataMB:        r.DataMB,
 		Connections:   r.Flows,
+		Estimates:     estimate.Compute(r.Samples, r.Result),
+		Regime:        estimate.ClassifyBDP(traj),
 	}
 }
 

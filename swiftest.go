@@ -45,10 +45,12 @@ import (
 
 	"github.com/mobilebandwidth/swiftest/internal/core"
 	"github.com/mobilebandwidth/swiftest/internal/dataset"
+	"github.com/mobilebandwidth/swiftest/internal/estimate"
 	"github.com/mobilebandwidth/swiftest/internal/faults"
 	"github.com/mobilebandwidth/swiftest/internal/gmm"
 	"github.com/mobilebandwidth/swiftest/internal/obs"
 	"github.com/mobilebandwidth/swiftest/internal/transport"
+	"github.com/mobilebandwidth/swiftest/internal/wire"
 )
 
 // MetricsRegistry aggregates operational metrics — counters, gauges and
@@ -135,6 +137,30 @@ func LoadModel(path string) (*Model, error) {
 	return &m, nil
 }
 
+// Estimates is the protocol-v2 estimator family computed over a test's 50 ms
+// samples: the paper's crossing estimate plus the trimmed-mean,
+// sustained-peak and P90–P80 summaries. Every runner — live Test, emulated
+// SimulateTest, the baselines — reports the same struct, so results are
+// comparable across worlds.
+type Estimates = estimate.Estimates
+
+// BDPRegime classifies how a test's joint (bandwidth, RTT) trajectory
+// evolved: slow-start, queue-buildup, shaping, stable, or unknown.
+type BDPRegime = estimate.Regime
+
+// BDP regime classifications.
+const (
+	RegimeUnknown      = estimate.RegimeUnknown
+	RegimeSlowStart    = estimate.RegimeSlowStart
+	RegimeQueueBuildup = estimate.RegimeQueueBuildup
+	RegimeShaping      = estimate.RegimeShaping
+	RegimeStable       = estimate.RegimeStable
+)
+
+// TrajectoryPoint is one joint (bandwidth, RTT) observation of a test's
+// trajectory; RTT is zero when the runner has no RTT source.
+type TrajectoryPoint = estimate.TrajectoryPoint
+
 // Result is the outcome of one Swiftest bandwidth test.
 type Result struct {
 	// BandwidthMbps is the estimated downstream access bandwidth.
@@ -168,6 +194,19 @@ type Result struct {
 	// but finished on the survivors: the estimate is valid but was produced
 	// under reduced pool capacity.
 	Degraded bool
+	// Estimates is the full estimator family over Samples; its crossing
+	// figure equals BandwidthMbps.
+	Estimates Estimates
+	// Trajectory is the joint (bandwidth, RTT) evolution of the test; RTT
+	// is zero where the probe had no RTT source.
+	Trajectory []TrajectoryPoint
+	// Regime classifies Trajectory by how the bandwidth-delay product
+	// evolved — the Figure-17-style view of what bounded the test.
+	Regime BDPRegime
+	// ProtocolVersion is the negotiated wire generation of a live test
+	// (2 for the two-channel protocol, 1 for legacy); zero for emulated
+	// tests, which have no wire.
+	ProtocolVersion uint8
 }
 
 func fromCore(r core.Result) Result {
@@ -182,6 +221,9 @@ func fromCore(r core.Result) Result {
 		ServersUsed:     r.ServersUsed,
 		ServersLost:     r.ServersLost,
 		Degraded:        r.Degraded,
+		Estimates:       r.Estimates,
+		Trajectory:      r.Trajectory,
+		Regime:          r.Regime,
 	}
 }
 
@@ -211,6 +253,11 @@ type ServerOptions struct {
 	// portable one-datagram-per-syscall path. Both put byte-identical
 	// datagram streams on the wire.
 	Wire WireMode
+	// AuthKey, when non-zero, requires protocol-v2 clients to present a
+	// session token minted under this key (see MintAuthToken and the fleet
+	// dispatcher's lease tokens). Legacy v1 clients carry no token field
+	// and are always admitted.
+	AuthKey uint64
 }
 
 // WireMode selects the syscall path probe datagrams take to the wire.
@@ -244,6 +291,7 @@ func NewServer(addr string, opts ServerOptions) (*Server, error) {
 		Metrics:    opts.Metrics,
 		Faults:     binding,
 		Wire:       opts.Wire,
+		AuthKey:    opts.AuthKey,
 	})
 	if err != nil {
 		return nil, err
@@ -274,8 +322,67 @@ type ServerAddr struct {
 	UplinkMbps float64 // advertised egress capacity
 }
 
+// Protocol selects the client's wire-protocol policy for live tests.
+type Protocol = transport.Protocol
+
+const (
+	// ProtoAuto negotiates v2 and falls back to v1 against legacy servers.
+	ProtoAuto = transport.ProtoAuto
+	// ProtoV1 pins the legacy single-socket protocol.
+	ProtoV1 = transport.ProtoV1
+	// ProtoV2 requires the two-channel protocol; legacy servers are an
+	// error (wrapping ErrProtocolUnsupported).
+	ProtoV2 = transport.ProtoV2
+)
+
+// ParseProtocol maps a flag value ("auto", "v1", "v2", "1", "2", "") to a
+// Protocol.
+func ParseProtocol(s string) (Protocol, error) { return transport.ParseProtocol(s) }
+
+// AuthToken authenticates a v2 test session against a keyed deployment: the
+// fleet dispatcher mints one per lease (MintAuthToken) and the client
+// presents it at session setup.
+type AuthToken = wire.Token
+
+// MintAuthToken authenticates (server, seq) under the deployment key — what
+// the fleet dispatcher does per lease. Self-serve clients of an open
+// (unkeyed) deployment never need one.
+func MintAuthToken(key uint64, server uint32, seq uint64) AuthToken {
+	return wire.MintToken(key, server, seq)
+}
+
+// ParseAuthToken decodes the hex form produced by AuthToken.String — the
+// shape tokens travel in through dispatch responses and CLI flags.
+func ParseAuthToken(s string) (AuthToken, error) { return wire.ParseToken(s) }
+
+// SessionOptions is the observability and resilience configuration shared by
+// every test runner — live (TestOptions) and emulated (SimulateOptions)
+// alike. The zero value disables all of it.
+type SessionOptions struct {
+	// Trace, when non-nil, receives the structured events of this test for
+	// a JSONL run-record (see Trace).
+	Trace *Trace
+	// Metrics, when non-nil, aggregates engine outcomes (convergence,
+	// duration, data volume, bandwidth) across tests — plus the client's
+	// resilience counters (sessions lost, handshake retries).
+	Metrics *MetricsRegistry
+	// LostAfter is K, the consecutive silent 50 ms sample windows after
+	// which an assigned server session is declared lost and its probing
+	// share redistributed to the surviving servers. Zero selects the
+	// default (4 windows, i.e. 200 ms of silence).
+	LostAfter int
+	// Faults, when non-nil, is a validated fault-injection plan acted out
+	// against the test. Only the emulated runners accept one: a live
+	// TestContext rejects a non-nil plan, because real servers inject
+	// their own faults via ServerOptions.FaultPlan.
+	Faults *FaultPlan
+}
+
 // TestOptions configures a client-side bandwidth test.
 type TestOptions struct {
+	// SessionOptions carries the trace, metrics, and resilience knobs
+	// shared with the emulated runners. Faults must be nil on live tests.
+	SessionOptions
 	// Servers is the candidate test-server pool. Required.
 	Servers []ServerAddr
 	// Model is the bandwidth model for the client's access technology.
@@ -290,18 +397,16 @@ type TestOptions struct {
 	MaxDuration time.Duration
 	// Seed drives test-ID generation; zero derives one from the clock.
 	Seed int64
-	// Trace, when non-nil, receives the structured events of this test for
-	// a JSONL run-record (see Trace).
-	Trace *Trace
-	// Metrics, when non-nil, aggregates engine outcomes (convergence,
-	// duration, data volume, bandwidth) across tests — plus the client's
-	// resilience counters (sessions lost, handshake retries).
-	Metrics *MetricsRegistry
-	// LostAfter is K, the consecutive silent 50 ms sample windows after
-	// which an assigned server session is declared lost and its probing
-	// share redistributed to the surviving servers. Zero selects the
-	// default (4 windows, i.e. 200 ms of silence).
-	LostAfter int
+	// Protocol is the wire-protocol policy; the zero value (ProtoAuto)
+	// negotiates v2 with v1 fallback.
+	Protocol Protocol
+	// Token authenticates the session against a keyed deployment (see
+	// AuthToken). Leave zero for open deployments.
+	Token AuthToken
+	// RegimeHint feeds the BDP-regime classifier back into the engine as a
+	// convergence hint: a trajectory already classified as stable may end
+	// the test one window early. Off by default.
+	RegimeHint bool
 }
 
 // Test runs one full Swiftest bandwidth test over real UDP: server selection
@@ -327,6 +432,9 @@ func TestContext(ctx context.Context, opts TestOptions) (Result, error) {
 	}
 	if opts.Model == nil {
 		return Result{}, fmt.Errorf("swiftest: %w (see DefaultModel)", ErrModelRequired)
+	}
+	if opts.Faults != nil {
+		return Result{}, fmt.Errorf("swiftest: fault plans apply to emulated tests and fault-injecting servers, not the live client; set ServerOptions.FaultPlan or use SimulateTest")
 	}
 	pingCount := opts.PingCount
 	if pingCount <= 0 {
@@ -357,6 +465,8 @@ func TestContext(ctx context.Context, opts TestOptions) (Result, error) {
 	}
 	probe.SetMetrics(opts.Metrics)
 	probe.SetLostAfter(opts.LostAfter)
+	probe.SetProtocol(opts.Protocol)
+	probe.SetToken(opts.Token)
 	if opts.Trace != nil {
 		opts.Trace.SetMeta("source", "udp")
 		opts.Trace.SetMeta("test_id", strconv.FormatUint(probe.TestID(), 10))
@@ -368,8 +478,10 @@ func TestContext(ctx context.Context, opts TestOptions) (Result, error) {
 		MaxDuration: opts.MaxDuration,
 		Trace:       opts.Trace,
 		Metrics:     core.NewEngineMetrics(opts.Metrics),
+		RegimeHint:  opts.RegimeHint,
 	})
 	jitter := probe.Jitter()
+	probe.SetFinalReport(res.Estimates, res.Regime)
 	probe.Finish(res.Bandwidth, res.Duration)
 	if err != nil {
 		return Result{}, fmt.Errorf("swiftest: probing: %w", err)
@@ -377,18 +489,53 @@ func TestContext(ctx context.Context, opts TestOptions) (Result, error) {
 	out := fromCore(res)
 	out.SelectionTime = selectionTime
 	out.Jitter = jitter
+	out.ProtocolVersion = probe.NegotiatedVersion()
 	return out, nil
 }
 
-// Ping measures the minimum round-trip latency to one test server. It is
-// PingContext with a background context.
+// PingOptions configures a latency probe train against one test server.
+// The zero value (beyond Addr) selects the same defaults server selection
+// uses: 3 probes, 1 s apiece.
+type PingOptions struct {
+	// Addr is the server to probe ("host:port"). Required.
+	Addr string
+	// Count is the number of probes; the minimum RTT across them is
+	// reported. Zero selects 3.
+	Count int
+	// Timeout bounds each probe; zero selects 1 s.
+	Timeout time.Duration
+}
+
+// PingServer measures the minimum round-trip latency to one test server.
+// Cancellation or deadline expiry on ctx cuts the probe train short.
+// Failures wrap ErrProbeTimeout (no answer) or ErrTestAborted (cancelled)
+// inside a *ServerError naming the address.
+func PingServer(ctx context.Context, opts PingOptions) (time.Duration, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	count := opts.Count
+	if count <= 0 {
+		count = 3
+	}
+	timeout := opts.Timeout
+	if timeout <= 0 {
+		timeout = time.Second
+	}
+	return transport.PingServerContext(ctx, opts.Addr, count, timeout)
+}
+
+// Ping measures the minimum round-trip latency to one test server.
+//
+// Deprecated: use PingServer, which names its parameters and defaults them.
 func Ping(addr string, count int, timeout time.Duration) (time.Duration, error) {
 	return transport.PingServer(addr, count, timeout)
 }
 
 // PingContext is Ping bounded by a context: cancellation or deadline expiry
-// cuts the probe train short. Failures wrap ErrProbeTimeout (no answer) or
-// ErrTestAborted (cancelled) inside a *ServerError naming the address.
+// cuts the probe train short.
+//
+// Deprecated: use PingServer.
 func PingContext(ctx context.Context, addr string, count int, timeout time.Duration) (time.Duration, error) {
 	return transport.PingServerContext(ctx, addr, count, timeout)
 }
