@@ -29,6 +29,7 @@ import (
 	"github.com/mobilebandwidth/swiftest/internal/core"
 	"github.com/mobilebandwidth/swiftest/internal/dataset"
 	"github.com/mobilebandwidth/swiftest/internal/deploy"
+	"github.com/mobilebandwidth/swiftest/internal/earlystop"
 	"github.com/mobilebandwidth/swiftest/internal/exper"
 	"github.com/mobilebandwidth/swiftest/internal/linksim"
 	"github.com/mobilebandwidth/swiftest/internal/spectrum"
@@ -77,6 +78,7 @@ func main() {
 		{"fig20", (*runner).fig20to22}, {"fig23", (*runner).fig23to25},
 		{"fig26", (*runner).fig26}, {"trace", (*runner).trace}, {"cost", (*runner).cost},
 		{"sec7", (*runner).sec7}, {"scenarios", (*runner).scenarios},
+		{"earlystop", (*runner).earlystop},
 	}
 	aliases := map[string]string{
 		"fig6": "fig5", "fig9": "fig8", "fig12": "fig11", "fig14": "fig13",
@@ -673,6 +675,40 @@ func (r *runner) scenarios() {
 	}
 	if err := rep.WriteTable(os.Stdout); err != nil {
 		r.fail("scenarios table: %v", err)
+	}
+}
+
+// earlystop traces the learned-termination front: the §5.1 crossing
+// baseline versus the earlystop policy at a sweep of stop thresholds.
+// Campaign cells seed by algorithm name, so cross-algorithm campaign rows
+// run different links; this sweep instead runs every policy on identical
+// seeded links against fault-free flooding ground truth — the only
+// comparison where accuracy/duration/data deltas measure the policy alone.
+func (r *runner) earlystop() {
+	header("learned early termination — paired front (crossing vs earlystop thresholds)")
+	cfg := earlystop.EvalConfig{
+		Runs:       3,
+		Seed:       r.seed,
+		Thresholds: []float64{0.7, 0.75, 0.85, 0.9},
+	}
+	if r.pairN <= 40 { // -quick
+		cfg.Profiles = []string{"4g-static", "5g-drive", "wifi-cafe"}
+		cfg.Runs = 1
+		cfg.Thresholds = []float64{0.6}
+	}
+	rep, err := earlystop.Evaluate(context.Background(), cfg)
+	if err != nil {
+		r.fail("earlystop: %v", err)
+		return
+	}
+	for _, p := range rep.Points {
+		label := p.Policy
+		if p.Policy == "earlystop" {
+			label = fmt.Sprintf("earlystop @ %.2f", p.Threshold)
+		}
+		row(label, "TURBOTEST: less is enough",
+			fmt.Sprintf("%.1f%% accuracy, %.2f s, %.1f MB, %d/%d early stops",
+				100*p.MeanAccuracy, p.MeanDurationMS/1e3, p.MeanDataMB, p.EarlyStops, p.Runs))
 	}
 }
 

@@ -48,9 +48,13 @@ func dispatch(args []string) error {
 	perTest := fs.Float64("pertest", 5, "per-test bandwidth reservation (Mbps) for admission caps")
 	window := fs.Duration("window", 0, "heartbeat liveness window (0 selects the 500ms default)")
 	authKey := fs.Uint64("authkey", 0, "fleet auth key; non-zero mints a session token per lease (give servers the same -authkey)")
+	tokenTTL := fs.Duration("token-ttl", 0, "lease token lifetime; keyed servers reject session setups with stale tokens (0 = tokens never expire)")
 	verbose := fs.Bool("v", false, "log assignments, rejections, drains, and server deaths")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *tokenTTL != 0 && *authKey == 0 {
+		return fmt.Errorf("-token-ttl needs -authkey: open fleets mint no tokens to expire")
 	}
 	if *planPath == "" {
 		return fmt.Errorf("no deployment plan given (use -plan artifact.json; see deployplan -json)")
@@ -64,6 +68,7 @@ func dispatch(args []string) error {
 		PerTestMbps:     *perTest,
 		HeartbeatWindow: *window,
 		AuthKey:         *authKey,
+		TokenTTL:        *tokenTTL,
 		Metrics:         metrics,
 	})
 	if err != nil {
@@ -320,6 +325,9 @@ func loadgenCmd(args []string) error {
 	profileName := fs.String("profile", "", "drive server uplinks through a RAN scenario profile (see `swiftest profiles`)")
 	asJSON := fs.Bool("json", false, "emit the report as JSON")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := validateWorkers(*workers); err != nil {
 		return err
 	}
 	if *planPath == "" {

@@ -65,6 +65,8 @@ func main() {
 		err = profilesCmd(os.Args[2:])
 	case "token":
 		err = tokenCmd(os.Args[2:])
+	case "earlystop":
+		err = earlystopCmd(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -94,6 +96,7 @@ commands:
   campaign    sweep RAN profiles x algorithms x fault plans in virtual time
   profiles    list the built-in RAN scenario profile library
   token       mint a session auth token for a keyed deployment
+  earlystop   train a learned early-termination model from replayed scenarios
 
 run "swiftest <command> -h" for command flags.
 `)
@@ -214,8 +217,14 @@ func test(args []string) error {
 	protoFlag := fs.String("protocol", "auto", "wire protocol: auto (v2 with v1 fallback), v1, or v2")
 	tokenFlag := fs.String("token", "", "hex session auth token for a keyed deployment (minted by the dispatcher; implicit with -dispatch)")
 	regimeHint := fs.Bool("regime-hint", false, "feed the BDP-regime classifier back as a convergence hint")
+	terminateFlag := fs.String("terminate", "", "termination policy: crossing (default), fastbts, or earlystop")
+	terminateModel := fs.String("terminate-model", "", "earlystop model artifact to use with -terminate earlystop (empty selects the embedded default)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	terminate, err2 := parseTerminate(*terminateFlag, *terminateModel)
+	if err2 != nil {
+		return err2
 	}
 	proto, err2 := swiftest.ParseProtocol(*protoFlag)
 	if err2 != nil {
@@ -289,7 +298,7 @@ func test(args []string) error {
 		defer releaseAssignment(*dispatchURL, a)
 	}
 	res, err := swiftest.TestContext(ctx, swiftest.TestOptions{
-		SessionOptions: swiftest.SessionOptions{Trace: trace},
+		SessionOptions: swiftest.SessionOptions{Trace: trace, Terminate: terminate},
 		Servers:        pool,
 		Model:          model,
 		MaxDuration:    *maxDur,
@@ -381,7 +390,13 @@ func simulate(args []string) error {
 	faultsPath := fs.String("faults", "", "JSON fault plan to inject into the emulated pool")
 	uplinks := fs.String("uplinks", "", "comma-separated per-server uplink caps (Mbps) for a multi-server pool")
 	profileName := fs.String("profile", "", "drive the link with a RAN scenario profile (see `swiftest profiles`; overrides -capacity/-rtt/-noise)")
+	terminateFlag := fs.String("terminate", "", "termination policy: crossing (default), fastbts, or earlystop")
+	terminateModel := fs.String("terminate-model", "", "earlystop model artifact to use with -terminate earlystop (empty selects the embedded default)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	terminate, err := parseTerminate(*terminateFlag, *terminateModel)
+	if err != nil {
 		return err
 	}
 	var profile *swiftest.Profile
@@ -402,7 +417,6 @@ func simulate(args []string) error {
 		}
 	}
 	var model *swiftest.Model
-	var err error
 	if *modelPath != "" {
 		model, err = swiftest.LoadModel(*modelPath)
 	} else {
@@ -427,7 +441,7 @@ func simulate(args []string) error {
 	if *tracePath != "" {
 		trace = swiftest.NewTrace(0)
 	}
-	simOpts := swiftest.SimulateOptions{SessionOptions: swiftest.SessionOptions{Trace: trace}}
+	simOpts := swiftest.SimulateOptions{SessionOptions: swiftest.SessionOptions{Trace: trace, Terminate: terminate}}
 	if *faultsPath != "" {
 		plan, err := swiftest.LoadFaultPlan(*faultsPath)
 		if err != nil {
@@ -567,12 +581,15 @@ func floodTest(args []string) error {
 func campaign(args []string) error {
 	fs := flag.NewFlagSet("campaign", flag.ExitOnError)
 	profilesFlag := fs.String("profiles", "all", `comma-separated RAN profiles to sweep, or "all"`)
-	algsFlag := fs.String("algs", "swiftest,fastbts", "comma-separated termination algorithms (swiftest, fastbts, fast)")
+	algsFlag := fs.String("algs", "swiftest,fastbts", "comma-separated termination algorithms (swiftest, fastbts, fast, earlystop)")
 	runs := fs.Int("runs", 3, "seeded runs per (profile, algorithm, fault plan) cell")
 	seed := fs.Int64("seed", 1, "campaign seed; the report is a pure function of (config, seed)")
 	workers := fs.Int("workers", 4, "concurrent runs (the report is byte-identical at any worker count)")
 	jsonOut := fs.String("json", "", `write the swiftest-campaign-report/v1 JSON here ("-" for stdout, suppressing the table)`)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := validateWorkers(*workers); err != nil {
 		return err
 	}
 	cfg := swiftest.CampaignConfig{Runs: *runs, Seed: *seed, Workers: *workers}
@@ -613,13 +630,22 @@ func tokenCmd(args []string) error {
 	authKey := fs.Uint64("authkey", 0, "deployment auth key (must match the servers' -authkey)")
 	server := fs.Uint("server", 0, "server ID the token is bound to")
 	seq := fs.Uint64("seq", 1, "lease sequence number")
+	ttl := fs.Duration("ttl", 0, "token lifetime from now; servers reject the token after it passes (0 = never expires)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *authKey == 0 {
 		return fmt.Errorf("no auth key given (use -authkey; zero keys an open deployment, which needs no tokens)")
 	}
-	fmt.Println(swiftest.MintAuthToken(*authKey, uint32(*server), *seq).String())
+	if *ttl < 0 {
+		return fmt.Errorf("negative -ttl %v", *ttl)
+	}
+	tok := swiftest.MintAuthToken(*authKey, uint32(*server), *seq)
+	if *ttl > 0 {
+		deadline := time.Now().Add(*ttl) //lint:allow walltime out-of-band token minting anchors its deadline to real time
+		tok = swiftest.MintAuthTokenExpiring(*authKey, uint32(*server), *seq, deadline)
+	}
+	fmt.Println(tok.String())
 	return nil
 }
 

@@ -1,0 +1,13 @@
+package main
+
+import "fmt"
+
+// validateWorkers rejects non-positive -workers values with a pointed
+// error, instead of letting a typo'd 0 or -1 silently serialize (the
+// library layers treat non-positive worker counts as "one worker").
+func validateWorkers(n int) error {
+	if n < 1 {
+		return fmt.Errorf("-workers must be at least 1, got %d (use -workers 1 to run serially)", n)
+	}
+	return nil
+}

@@ -1,0 +1,23 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateWorkers(t *testing.T) {
+	for _, n := range []int{1, 2, 64} {
+		if err := validateWorkers(n); err != nil {
+			t.Errorf("validateWorkers(%d) = %v, want nil", n, err)
+		}
+	}
+	for _, n := range []int{0, -1, -100} {
+		err := validateWorkers(n)
+		if err == nil {
+			t.Fatalf("validateWorkers(%d) = nil, want error", n)
+		}
+		if !strings.Contains(err.Error(), "-workers") {
+			t.Errorf("validateWorkers(%d) error %q does not name the -workers flag", n, err)
+		}
+	}
+}

@@ -63,7 +63,10 @@ type FleetDispatcher struct {
 
 // NewFleetDispatcher builds a live dispatcher for a deployment plan.
 // placements may be nil; cfg zero values select the documented defaults.
+// With TokenTTL set and no explicit TokenEpochMS, the dispatcher's
+// wall-clock birth becomes the epoch token expiry deadlines count from.
 func NewFleetDispatcher(plan DeployPlan, placements []Placement, cfg FleetConfig) (*FleetDispatcher, error) {
+	stampTokenEpoch(&cfg)
 	d, err := fleet.NewDispatcher(plan, placements, cfg)
 	if err != nil {
 		return nil, err
@@ -74,11 +77,21 @@ func NewFleetDispatcher(plan DeployPlan, placements []Placement, cfg FleetConfig
 // NewFleetDispatcherFromArtifact builds a live dispatcher from a
 // cmd/deployplan -json artifact.
 func NewFleetDispatcherFromArtifact(a *DeployArtifact, cfg FleetConfig) (*FleetDispatcher, error) {
+	stampTokenEpoch(&cfg)
 	d, err := fleet.NewDispatcherFromArtifact(a, cfg)
 	if err != nil {
 		return nil, err
 	}
 	return &FleetDispatcher{d: d, started: time.Now()}, nil //lint:allow walltime the live control plane's time base, mirroring transport.Server
+}
+
+// stampTokenEpoch pins the wall-clock instant elapsed time counts from, so
+// the deterministic core can mint absolute token expiry deadlines without
+// reading a clock itself.
+func stampTokenEpoch(cfg *FleetConfig) {
+	if cfg.TokenTTL > 0 && cfg.TokenEpochMS == 0 {
+		cfg.TokenEpochMS = uint64(time.Now().UnixMilli()) //lint:allow walltime the live control plane's time base, mirroring transport.Server
+	}
 }
 
 // elapsed is the dispatcher's time base: wall time since construction.

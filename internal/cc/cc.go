@@ -349,3 +349,27 @@ func MeasureRamp(link *linksim.Link, alg Algorithm, frac float64, deadline time.
 	}
 	return RampResult{RampTime: deadline, Reached: false}
 }
+
+// rampGrowth is the per-sample growth ratio regarded as slow-start-like by
+// RampFraction: half the Cubic slow-start per-round gain, the most
+// conservative of the three modeled algorithms at sub-RTT sampling scales.
+const rampGrowth = 1 + gainCubic/2
+
+// RampFraction reports the fraction of consecutive sample pairs whose growth
+// ratio is slow-start-like (≥ ~1.27×) — a CC-phase hint for termination
+// policies: values near 1 mean the stream is still ramping multiplicatively
+// the way the modeled algorithms do before exiting slow start, values near 0
+// mean growth has flattened into congestion avoidance or a plateau. It is a
+// pure function of the samples — deterministic and allocation-free.
+func RampFraction(samples []float64) float64 {
+	if len(samples) < 2 {
+		return 0
+	}
+	ramping := 0
+	for i := 1; i < len(samples); i++ {
+		if samples[i-1] > 0 && samples[i] >= samples[i-1]*rampGrowth {
+			ramping++
+		}
+	}
+	return float64(ramping) / float64(len(samples)-1)
+}

@@ -24,7 +24,6 @@ import (
 	"fmt"
 	"time"
 
-	"github.com/mobilebandwidth/swiftest/internal/baseline"
 	"github.com/mobilebandwidth/swiftest/internal/errdefs"
 	"github.com/mobilebandwidth/swiftest/internal/estimate"
 	"github.com/mobilebandwidth/swiftest/internal/gmm"
@@ -105,6 +104,13 @@ type Config struct {
 	// Metrics, when non-nil, aggregates test outcomes (convergence,
 	// duration, data volume, bandwidth) across runs.
 	Metrics *EngineMetrics
+	// Terminate selects the policy deciding when the test has measured
+	// enough: CrossingPolicy (the paper's §5.1 stability window),
+	// FastBTSPolicy (crucial-interval lagged agreement), or
+	// earlystop.Policy (the learned TURBOTEST-style model). Nil selects
+	// CrossingPolicy parameterised by ConvergeWindow/ConvergeThreshold,
+	// preserving the historical sample-for-sample behaviour.
+	Terminate TerminationPolicy
 	// RegimeHint, when true, feeds the mid-test BDP regime classification
 	// back into the engine: once the trajectory reads as traffic shaping or
 	// queue buildup, further rate escalation is suppressed — probing harder
@@ -198,6 +204,10 @@ func RunContext(ctx context.Context, p Probe, cfg Config) (Result, error) {
 	res := Result{InitialRate: initial}
 	settle := cfg.SettleSamples
 	rttSrc, _ := p.(RTTSampler)
+	policy := cfg.Terminate
+	if policy == nil {
+		policy = CrossingPolicy{Window: cfg.ConvergeWindow, Threshold: cfg.ConvergeThreshold}
+	}
 	hinted := estimate.RegimeUnknown // regime already fed back as a hint
 	for p.Elapsed() < cfg.MaxDuration {
 		s, ok := p.NextSample()
@@ -227,19 +237,23 @@ func RunContext(ctx context.Context, p Probe, cfg Config) (Result, error) {
 			settle--
 		}
 
-		// Convergence: the last ConvergeWindow samples agree within the
-		// threshold → stop and report their mean (§5.1).
-		if len(res.Samples) >= cfg.ConvergeWindow {
-			tail := res.Samples[len(res.Samples)-cfg.ConvergeWindow:]
-			if cfg.Trace != nil {
-				cfg.Trace.Record(p.Elapsed(), obs.EventConvergeCheck, spreadOf(tail), cfg.ConvergeThreshold, "")
+		// Termination: the policy judges the sample/trajectory prefix after
+		// every sample — the §5.1 crossing rule by default, FastBTS's
+		// crucial-interval agreement or the learned earlystop model when
+		// configured.
+		d := policy.Decide(res.Samples, res.Trajectory, p.Elapsed())
+		if d.Checked {
+			cfg.Trace.Record(p.Elapsed(), obs.EventConvergeCheck, d.Check, d.Threshold, "")
+		}
+		if d.Stop {
+			res.Bandwidth = d.Estimate
+			res.Converged = true
+			if d.Early {
+				cfg.Metrics.onEarlyStop()
+				cfg.Trace.Record(p.Elapsed(), obs.EventEarlyStop, res.Bandwidth, d.Check, d.Note)
 			}
-			if baseline.Stable(tail, cfg.ConvergeThreshold) {
-				res.Bandwidth = meanOf(tail)
-				res.Converged = true
-				cfg.Trace.Record(p.Elapsed(), obs.EventConverged, res.Bandwidth, spreadOf(tail), "")
-				break
-			}
+			cfg.Trace.Record(p.Elapsed(), obs.EventConverged, res.Bandwidth, d.Check, d.Note)
+			break
 		}
 
 		// Convergence hint: once the trajectory reads as shaping or queue

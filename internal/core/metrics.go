@@ -15,6 +15,7 @@ type EngineMetrics struct {
 	aborted     *obs.Counter
 	escalations *obs.Counter
 	degraded    *obs.Counter
+	earlystops  *obs.Counter
 	duration    *obs.Histogram
 	dataMB      *obs.Histogram
 	bandwidth   *obs.Histogram
@@ -41,6 +42,8 @@ func NewEngineMetrics(reg *obs.Registry) *EngineMetrics {
 			"Probing-rate escalations across all tests."),
 		degraded: reg.Counter("swiftest_engine_tests_degraded_total",
 			"Tests that finished after losing at least one server session."),
+		earlystops: reg.Counter("swiftest_engine_earlystops_total",
+			"Tests stopped early by a learned termination policy."),
 		duration: reg.Histogram("swiftest_engine_test_duration_seconds",
 			"Probing time per test.",
 			[]float64{0.25, 0.5, 0.75, 1, 1.5, 2, 3, 4, 5, 7.5, 10}),
@@ -65,6 +68,13 @@ func (m *EngineMetrics) onEscalate() {
 		return
 	}
 	m.escalations.Inc()
+}
+
+func (m *EngineMetrics) onEarlyStop() {
+	if m == nil {
+		return
+	}
+	m.earlystops.Inc()
 }
 
 func (m *EngineMetrics) onAbort() {

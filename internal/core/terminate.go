@@ -1,0 +1,182 @@
+package core
+
+import (
+	"time"
+
+	"github.com/mobilebandwidth/swiftest/internal/baseline"
+	"github.com/mobilebandwidth/swiftest/internal/estimate"
+)
+
+// Decision is a TerminationPolicy's verdict after one 50 ms sample.
+type Decision struct {
+	// Stop ends the test now; Estimate is then the reported bandwidth.
+	Stop     bool
+	Estimate float64
+	// Early marks a stop issued before the crossing rule would have fired —
+	// a learned early exit. The engine counts these separately
+	// (swiftest_engine_earlystops_total) and emits an early_stop trace event.
+	Early bool
+	// Checked, Check and Threshold describe the policy's convergence probe
+	// for the trace: when Checked, the engine records a converge_check event
+	// with value Check and aux Threshold.
+	Checked   bool
+	Check     float64
+	Threshold float64
+	// Note annotates the early_stop trace event (e.g. the model score).
+	Note string
+}
+
+// TerminationPolicy decides, after every sample, whether a bandwidth test
+// has measured enough. Decide sees the full sample and trajectory prefix
+// collected so far and must be a pure function of it (no internal state), so
+// one policy value can be shared across concurrent tests and reruns are
+// byte-identical.
+//
+// Three implementations sit behind this seam: CrossingPolicy (the paper's
+// §5.1 stability window), FastBTSPolicy (crucial-interval lagged agreement),
+// and earlystop.Policy (the learned TURBOTEST-style model).
+type TerminationPolicy interface {
+	// Name labels the policy in traces and reports.
+	Name() string
+	// Decide judges the test after the latest sample. samples and traj are
+	// the complete prefixes in arrival order; elapsed is the probe's clock.
+	Decide(samples []float64, traj []estimate.TrajectoryPoint, elapsed time.Duration) Decision
+}
+
+// CrossingPolicy is the paper's §5.1 stopping rule as a TerminationPolicy:
+// stop when the last Window samples agree within Threshold (max/min spread),
+// reporting their mean. The zero value selects the published parameters
+// (10 samples, 3 %).
+type CrossingPolicy struct {
+	// Window is the number of trailing samples that must agree; zero
+	// selects 10.
+	Window int
+	// Threshold is the max/min difference ratio regarded as convergent;
+	// zero selects 0.03.
+	Threshold float64
+}
+
+// Name implements TerminationPolicy.
+func (CrossingPolicy) Name() string { return "crossing" }
+
+func (c CrossingPolicy) withDefaults() CrossingPolicy {
+	if c.Window <= 0 {
+		c.Window = 10
+	}
+	if c.Threshold <= 0 {
+		c.Threshold = 0.03
+	}
+	return c
+}
+
+// Decide implements TerminationPolicy.
+func (c CrossingPolicy) Decide(samples []float64, _ []estimate.TrajectoryPoint, _ time.Duration) Decision {
+	c = c.withDefaults()
+	if len(samples) < c.Window {
+		return Decision{}
+	}
+	tail := samples[len(samples)-c.Window:]
+	d := Decision{Checked: true, Check: spreadOf(tail), Threshold: c.Threshold}
+	if baseline.Stable(tail, c.Threshold) {
+		d.Stop = true
+		d.Estimate = meanOf(tail)
+	}
+	return d
+}
+
+// FastBTSPolicy is FastBTS's crucial-interval stopping rule (NSDI '21)
+// behind the TerminationPolicy seam: the crucial-interval estimate must
+// agree with its value AgreeLag samples earlier within AgreeThreshold for
+// AgreeRounds consecutive samples. The zero value selects the parameters of
+// the baseline prober (internal/baseline.FastBTS).
+type FastBTSPolicy struct {
+	// MinSamples is the floor before any stop is considered; zero selects 30.
+	MinSamples int
+	// Warmup is the number of leading ramp samples excluded from the
+	// crucial-interval estimate; zero selects 10.
+	Warmup int
+	// AgreeThreshold is the max relative difference between the lagged
+	// estimates that counts as agreement; zero selects 0.05.
+	AgreeThreshold float64
+	// AgreeLag is how many samples back the comparison estimate sits; zero
+	// selects 20.
+	AgreeLag int
+	// AgreeRounds is the consecutive-agreement count that stops the test;
+	// zero selects 5.
+	AgreeRounds int
+}
+
+// Name implements TerminationPolicy.
+func (FastBTSPolicy) Name() string { return "fastbts" }
+
+func (f FastBTSPolicy) withDefaults() FastBTSPolicy {
+	if f.MinSamples <= 0 {
+		f.MinSamples = 30
+	}
+	if f.Warmup <= 0 {
+		f.Warmup = 10
+	}
+	if f.AgreeThreshold <= 0 {
+		f.AgreeThreshold = 0.05
+	}
+	if f.AgreeLag <= 0 {
+		f.AgreeLag = 20
+	}
+	if f.AgreeRounds <= 0 {
+		f.AgreeRounds = 5
+	}
+	return f
+}
+
+// estimateAt is the crucial-interval estimate over the first n samples,
+// excluding the warmup ramp.
+func (f FastBTSPolicy) estimateAt(samples []float64, n int) float64 {
+	if n <= f.Warmup {
+		return 0
+	}
+	return baseline.CrucialInterval(samples[f.Warmup:n])
+}
+
+// Decide implements TerminationPolicy. The agreement streak is recomputed
+// from the full prefix on every call, keeping the policy stateless; sample
+// streams are short enough (≈100 at the engine's 5 s ceiling) that the
+// quadratic replay is negligible against the 50 ms sampling cadence.
+func (f FastBTSPolicy) Decide(samples []float64, _ []estimate.TrajectoryPoint, _ time.Duration) Decision {
+	f = f.withDefaults()
+	n := len(samples)
+	if n < f.MinSamples {
+		return Decision{}
+	}
+	agree := 0
+	var est float64
+	for i := f.MinSamples; i <= n; i++ {
+		est = f.estimateAt(samples, i)
+		prev := f.estimateAt(samples, i-f.AgreeLag)
+		if prev > 0 && est > 0 && relDiff(est, prev) <= f.AgreeThreshold {
+			agree++
+		} else {
+			agree = 0
+		}
+	}
+	d := Decision{Checked: true, Check: float64(agree), Threshold: float64(f.AgreeRounds)}
+	if agree >= f.AgreeRounds {
+		d.Stop = true
+		d.Estimate = est
+	}
+	return d
+}
+
+func relDiff(a, b float64) float64 {
+	hi := a
+	if b > hi {
+		hi = b
+	}
+	if hi == 0 {
+		return 0
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d / hi
+}

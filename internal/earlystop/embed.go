@@ -1,0 +1,37 @@
+package earlystop
+
+import (
+	_ "embed"
+	"fmt"
+)
+
+// defaultModelJSON is the default model artifact, trained offline by the
+// training pipeline itself over the full RAN profile library:
+//
+//	go run ./cmd/swiftest earlystop train -seed 7 -runs 6 -tolerance 0.15 -threshold 0.80 -o internal/earlystop/default_model.json
+//
+// Re-running that command reproduces the file byte-for-byte (training and
+// encoding are both deterministic). The tolerance/threshold pair was chosen
+// from the paired front (btsbench -only earlystop): at threshold 0.80 this
+// model matches or beats the crossing policy's mean accuracy on every eval
+// seed tried while cutting mean duration and bytes on wire by ~60%.
+//
+//go:embed default_model.json
+var defaultModelJSON []byte
+
+// defaultModel is parsed once at package init: the artifact ships inside
+// the binary, so failing to parse it is a build defect, not a runtime
+// condition.
+var defaultModel = func() *Model {
+	m, err := Parse(defaultModelJSON)
+	if err != nil {
+		panic(fmt.Sprintf("earlystop: embedded default model: %v", err))
+	}
+	return m
+}()
+
+// Default returns the embedded default model. The returned model is shared
+// and must be treated as read-only.
+func Default() *Model {
+	return defaultModel
+}

@@ -1,0 +1,218 @@
+package earlystop
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+
+	"github.com/mobilebandwidth/swiftest/internal/baseline"
+	"github.com/mobilebandwidth/swiftest/internal/core"
+	"github.com/mobilebandwidth/swiftest/internal/dataset"
+	"github.com/mobilebandwidth/swiftest/internal/linksim"
+	"github.com/mobilebandwidth/swiftest/internal/ranprofile"
+	"github.com/mobilebandwidth/swiftest/internal/stats"
+)
+
+// EvalReportSchema names the paired-evaluation report layout.
+const EvalReportSchema = "swiftest-earlystop-eval/v1"
+
+// EvalConfig parameterises a paired policy evaluation: every point runs on
+// the identical seeded links — per-run seeds hash only (profile, fault
+// case, run), never the policy — so differences between points measure the
+// policies, not link noise.
+type EvalConfig struct {
+	// Profiles are built-in RAN profile names; empty selects the whole
+	// library.
+	Profiles []string
+	// FaultCases are the fault plans swept; empty selects
+	// DefaultFaultCases.
+	FaultCases []FaultCase
+	// Runs is the number of seeded runs per (profile, fault case) cell.
+	// Zero selects 3.
+	Runs int
+	// Seed roots every per-run seed; the report is a pure function of
+	// (config, seed).
+	Seed int64
+	// Model is the earlystop model under evaluation; nil selects the
+	// embedded default.
+	Model *Model
+	// Thresholds are extra stop-probability thresholds to trace the
+	// accuracy-vs-duration-vs-data front with; the model's own threshold
+	// is always evaluated. Values outside (0,1) are rejected.
+	Thresholds []float64
+}
+
+// EvalPoint is one policy's aggregate over the whole paired matrix.
+type EvalPoint struct {
+	// Policy is "crossing" or "earlystop".
+	Policy string `json:"policy"`
+	// Threshold is the earlystop stop threshold (0 for crossing).
+	Threshold float64 `json:"threshold,omitempty"`
+	// MeanAccuracy is mean 1 − deviation versus the fault-free BTS-APP
+	// flooding ground truth on the identical (profile, seed) link.
+	MeanAccuracy float64 `json:"mean_accuracy"`
+	// MeanDurationMS and MeanDataMB are the mean test cost.
+	MeanDurationMS float64 `json:"mean_duration_ms"`
+	MeanDataMB     float64 `json:"mean_data_mb"`
+	// EarlyStops counts runs the learned model fired on (0 for crossing).
+	EarlyStops int `json:"early_stops"`
+	// Runs is the number of paired runs aggregated.
+	Runs int `json:"runs"`
+}
+
+// EvalReport is the full deterministic paired-evaluation outcome. Points
+// come in config order: crossing first, then one earlystop point per
+// evaluated threshold (the model's own threshold first).
+type EvalReport struct {
+	Schema     string      `json:"schema"`
+	Seed       int64       `json:"seed"`
+	Runs       int         `json:"runs_per_cell"`
+	Profiles   []string    `json:"profiles"`
+	FaultPlans []string    `json:"fault_plans"`
+	Points     []EvalPoint `json:"points"`
+}
+
+// Evaluate measures the crossing policy and the earlystop policy (at one or
+// more thresholds) over the full profiles × fault cases matrix, every
+// policy on the identical seeded links, against fault-free flooding ground
+// truth. The report is a pure function of (cfg, Seed).
+func Evaluate(ctx context.Context, cfg EvalConfig) (*EvalReport, error) {
+	if len(cfg.Profiles) == 0 {
+		cfg.Profiles = ranprofile.Names()
+	}
+	if len(cfg.FaultCases) == 0 {
+		cfg.FaultCases = DefaultFaultCases()
+	}
+	for _, fc := range cfg.FaultCases {
+		if fc.Plan != nil {
+			if err := fc.Plan.Validate(); err != nil {
+				return nil, fmt.Errorf("earlystop: fault case %q: %w", fc.Name, err)
+			}
+		}
+	}
+	if cfg.Runs <= 0 {
+		cfg.Runs = 3
+	}
+	model := cfg.Model
+	if model == nil {
+		model = Default()
+	}
+	thresholds := append([]float64{model.Threshold}, cfg.Thresholds...)
+	for _, t := range thresholds {
+		if t <= 0 || t >= 1 {
+			return nil, fmt.Errorf("earlystop: eval threshold %g outside (0,1)", t)
+		}
+	}
+
+	// policies[0] is crossing (nil Terminate); the rest are earlystop
+	// variants of the same model at each threshold.
+	policies := make([]core.TerminationPolicy, 1, 1+len(thresholds))
+	policies[0] = nil
+	for _, t := range thresholds {
+		variant := *model
+		variant.Threshold = t
+		policies = append(policies, NewPolicy(&variant))
+	}
+
+	points := make([]EvalPoint, len(policies))
+	var planNames []string
+	for _, fc := range cfg.FaultCases {
+		planNames = append(planNames, fc.Name)
+	}
+
+	for _, name := range cfg.Profiles {
+		profile, err := ranprofile.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		gmmModel, err := dataset.TechModel(profile.DatasetTech(), 2021)
+		if err != nil {
+			return nil, fmt.Errorf("earlystop: %v", err)
+		}
+		for _, fc := range cfg.FaultCases {
+			h := fnv.New64a()
+			fmt.Fprintf(h, "%s|%s", name, fc.Name)
+			cellHash := h.Sum64()
+			for run := 0; run < cfg.Runs; run++ {
+				if err := ctx.Err(); err != nil {
+					return nil, fmt.Errorf("earlystop: eval cancelled: %w", err)
+				}
+				runSeed := int64(stats.SplitMix64(uint64(cfg.Seed) ^ cellHash ^ uint64(run)*stats.SplitMix64Gamma))
+
+				// Fault-free flooding truth on the identical link.
+				truthMachine := ranprofile.NewMachine(profile, runSeed, ranprofile.MachineOptions{})
+				truthLink, err := linksim.New(linksim.Config{StateHook: truthMachine.Hook()}, runSeed)
+				if err != nil {
+					return nil, fmt.Errorf("earlystop: truth link: %w", err)
+				}
+				truth := (&baseline.BTSApp{}).Run(truthLink).Result
+
+				for pi, policy := range policies {
+					machine := ranprofile.NewMachine(profile, runSeed, ranprofile.MachineOptions{})
+					link, err := linksim.New(linksim.Config{
+						StateHook: machine.Hook(),
+						Impair:    impairFromPlan(fc.Plan),
+					}, runSeed)
+					if err != nil {
+						return nil, fmt.Errorf("earlystop: eval link: %w", err)
+					}
+					probe := core.NewSimProbe(link)
+					res, err := core.Run(probe, core.Config{
+						Model:       gmmModel,
+						MaxDuration: replayMaxDuration,
+						Terminate:   policy,
+					})
+					probe.Close()
+					if err != nil {
+						return nil, fmt.Errorf("earlystop: eval on %s: %w", name, err)
+					}
+					pt := &points[pi]
+					pt.MeanAccuracy += 1 - deviation(res.Bandwidth, truth)
+					pt.MeanDurationMS += float64(res.Duration.Milliseconds())
+					pt.MeanDataMB += res.DataMB
+					if pi > 0 && res.Converged && !crossingStopped(res.Samples) {
+						pt.EarlyStops++
+					}
+					pt.Runs++
+				}
+			}
+		}
+	}
+
+	for pi := range points {
+		pt := &points[pi]
+		if pt.Runs > 0 {
+			n := float64(pt.Runs)
+			pt.MeanAccuracy /= n
+			pt.MeanDurationMS /= n
+			pt.MeanDataMB /= n
+		}
+		if pi == 0 {
+			pt.Policy = "crossing"
+		} else {
+			pt.Policy = "earlystop"
+			pt.Threshold = thresholds[pi-1]
+		}
+	}
+	return &EvalReport{
+		Schema:     EvalReportSchema,
+		Seed:       cfg.Seed,
+		Runs:       cfg.Runs,
+		Profiles:   cfg.Profiles,
+		FaultPlans: planNames,
+		Points:     points,
+	}, nil
+}
+
+// crossingStopped reports whether the §5.1 crossing rule would have stopped
+// somewhere within the sample stream — used to tell a model-fired early
+// stop from a converged crossing fallback.
+func crossingStopped(samples []float64) bool {
+	var cp core.CrossingPolicy
+	for n := 1; n <= len(samples); n++ {
+		if d := cp.Decide(samples[:n], nil, 0); d.Stop {
+			return true
+		}
+	}
+	return false
+}

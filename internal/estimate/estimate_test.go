@@ -235,6 +235,91 @@ func TestClassifyBDPShaping(t *testing.T) {
 	}
 }
 
+func TestClassifyBDPMinimumTrajectory(t *testing.T) {
+	// minPoints is the gate: 5 points are unclassifiable, 6 already split
+	// into thirds of two and classify.
+	bw5 := []float64{40, 40, 40, 40, 40}
+	if got := ClassifyBDP(traj(bw5, nil)); got != RegimeUnknown {
+		t.Errorf("5 points classified as %v, want unknown", got)
+	}
+	bw6 := []float64{40, 40, 40, 40, 40, 40}
+	if got := ClassifyBDP(traj(bw6, nil)); got != RegimeStable {
+		t.Errorf("6 flat points classified as %v, want stable", got)
+	}
+}
+
+func TestClassifyBDPShapingBorderline(t *testing.T) {
+	// Early peak exactly shapingRatio × the flat late mean: shaped (the
+	// rule is inclusive).
+	at := []float64{75, 60, 60, 60, 50, 50, 50, 50, 50, 50, 50, 50}
+	if got := ClassifyBDP(traj(at, nil)); got != RegimeShaping {
+		t.Errorf("peak exactly 1.5x plateau classified as %v, want shaping", got)
+	}
+	// Just under the ratio: a decaying stream that is neither shaped nor
+	// flat nor rising — unknown.
+	under := []float64{74, 60, 60, 60, 50, 50, 50, 50, 50, 50, 50, 50}
+	if got := ClassifyBDP(traj(under, nil)); got != RegimeUnknown {
+		t.Errorf("peak 1.48x plateau classified as %v, want unknown", got)
+	}
+}
+
+func TestClassifyBDPRTTBorderline(t *testing.T) {
+	bw := make([]float64, 12)
+	for i := range bw {
+		bw[i] = 40
+	}
+	// RTT inflated 1.4×: too inflated to count as stable (flat is ±15 %),
+	// not inflated enough for queue buildup (1.5×) — unknown.
+	between := make([]time.Duration, 12)
+	for i := range between {
+		between[i] = 40 * time.Millisecond
+		if i >= 8 {
+			between[i] = 56 * time.Millisecond
+		}
+	}
+	if got := ClassifyBDP(traj(bw, between)); got != RegimeUnknown {
+		t.Errorf("1.4x RTT inflation classified as %v, want unknown", got)
+	}
+	// Exactly 1.5×: queue buildup (inclusive).
+	exact := make([]time.Duration, 12)
+	for i := range exact {
+		exact[i] = 40 * time.Millisecond
+		if i >= 8 {
+			exact[i] = 60 * time.Millisecond
+		}
+	}
+	if got := ClassifyBDP(traj(bw, exact)); got != RegimeQueueBuildup {
+		t.Errorf("exactly 1.5x RTT inflation classified as %v, want queue-buildup", got)
+	}
+}
+
+func TestClassifyBDPRisingUnstableBDP(t *testing.T) {
+	// Bandwidth doubling while RTT stays put: the rate×RTT product swings
+	// far past the stability CV, so this is not a clean opening window —
+	// and it is not flat either. Unknown.
+	var bw []float64
+	rtt := make([]time.Duration, 12)
+	for i := 0; i < 12; i++ {
+		bw = append(bw, 5*math.Pow(1.5, float64(i)))
+		rtt[i] = 40 * time.Millisecond
+	}
+	if got := ClassifyBDP(traj(bw, rtt)); got != RegimeUnknown {
+		t.Errorf("rising bandwidth with swinging BDP classified as %v, want unknown", got)
+	}
+}
+
+func TestClassifyBDPRisingWithoutRTT(t *testing.T) {
+	// A TCP baseline ramp: no RTT observations at all, bandwidth still
+	// rising. The BDP check cannot veto, so this is slow start.
+	var bw []float64
+	for i := 0; i < 12; i++ {
+		bw = append(bw, 5*math.Pow(1.3, float64(i)))
+	}
+	if got := ClassifyBDP(traj(bw, nil)); got != RegimeSlowStart {
+		t.Errorf("RTT-less ramp classified as %v, want slow-start", got)
+	}
+}
+
 func TestRegimeStringRoundTrip(t *testing.T) {
 	for _, r := range []Regime{RegimeUnknown, RegimeSlowStart, RegimeQueueBuildup, RegimeShaping, RegimeStable} {
 		if got := ParseRegime(r.String()); got != r {

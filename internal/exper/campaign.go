@@ -12,6 +12,7 @@ import (
 	"github.com/mobilebandwidth/swiftest/internal/baseline"
 	"github.com/mobilebandwidth/swiftest/internal/core"
 	"github.com/mobilebandwidth/swiftest/internal/dataset"
+	"github.com/mobilebandwidth/swiftest/internal/earlystop"
 	"github.com/mobilebandwidth/swiftest/internal/faults"
 	"github.com/mobilebandwidth/swiftest/internal/linksim"
 	"github.com/mobilebandwidth/swiftest/internal/obs"
@@ -47,7 +48,7 @@ func BuiltinFaultPlans() []NamedFaultPlan {
 }
 
 // CampaignAlgorithms are the termination algorithms a campaign can sweep.
-var CampaignAlgorithms = []string{"swiftest", "fastbts", "fast"}
+var CampaignAlgorithms = []string{"swiftest", "fastbts", "fast", "earlystop"}
 
 // CampaignConfig parameterises a scenario campaign: the cross product of
 // profiles × algorithms × fault plans, each cell measured Runs times.
@@ -84,7 +85,7 @@ func (c CampaignConfig) withDefaults() (CampaignConfig, error) {
 	}
 	for _, alg := range c.Algorithms {
 		switch alg {
-		case "swiftest", "fastbts", "fast":
+		case "swiftest", "fastbts", "fast", "earlystop":
 		default:
 			return c, fmt.Errorf("exper: unknown campaign algorithm %q (known: %v)", alg, CampaignAlgorithms)
 		}
@@ -228,16 +229,23 @@ func runScenario(cell campaignCell, runSeed int64, reg *obs.Registry) (runOutcom
 
 	var out runOutcome
 	switch cell.alg {
-	case "swiftest":
+	case "swiftest", "earlystop":
 		model, err := dataset.TechModel(cell.profile.DatasetTech(), 2021)
 		if err != nil {
 			return runOutcome{}, fmt.Errorf("exper: %v", err)
 		}
+		cfg := core.Config{Model: model, MaxDuration: SwiftestMaxDuration}
+		if cell.alg == "earlystop" {
+			// The learned policy over the same engine: the crossing rule
+			// stays as its fallback, so accuracy can only differ where the
+			// model fires first.
+			cfg.Terminate = earlystop.NewPolicy(nil)
+		}
 		probe := core.NewSimProbe(testLink)
-		res, err := core.Run(probe, core.Config{Model: model, MaxDuration: SwiftestMaxDuration})
+		res, err := core.Run(probe, cfg)
 		probe.Close()
 		if err != nil {
-			return runOutcome{}, fmt.Errorf("exper: swiftest on %s: %w", cell.profile.Name, err)
+			return runOutcome{}, fmt.Errorf("exper: %s on %s: %w", cell.alg, cell.profile.Name, err)
 		}
 		out = runOutcome{estimate: res.Bandwidth, duration: res.Duration, dataMB: res.DataMB, converged: res.Converged}
 	case "fastbts":

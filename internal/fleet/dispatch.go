@@ -37,6 +37,19 @@ type Config struct {
 	// (a crashed CLI client); Advance reclaims the slot after the TTL. Zero
 	// selects 25× AvgTestDuration; negative disables expiry.
 	LeaseTTL time.Duration
+	// TokenTTL bounds minted session tokens on keyed fleets: each token's
+	// Expires deadline is its mint time plus TokenTTL, and servers sharing
+	// the auth key reject stale tokens at session setup (wire.RejectAuth).
+	// Zero mints non-expiring tokens. Requires TokenEpochMS so the
+	// deterministic core never reads a clock.
+	TokenTTL time.Duration
+	// TokenEpochMS is the absolute unix-ms instant of elapsed time zero —
+	// the dispatcher's birth on the wall clock. The live wrapper
+	// (the root package's NewFleetDispatcher) stamps it automatically when
+	// TokenTTL is set; emulated fleets pin any fixed value. Token expiry
+	// deadlines are TokenEpochMS + at + TokenTTL, so mints stay a pure
+	// function of caller-stamped time.
+	TokenEpochMS uint64
 	// TokensPerSec overrides the per-server token refill rate; zero derives
 	// it from the session cap and AvgTestDuration.
 	TokensPerSec float64
@@ -142,6 +155,12 @@ func NewDispatcher(plan deploy.Plan, placements []deploy.Placement, cfg Config) 
 	}
 	if cfg.LostWindows <= 0 {
 		cfg.LostWindows = faults.DefaultLostWindows
+	}
+	if cfg.TokenTTL < 0 {
+		return nil, fmt.Errorf("fleet: negative TokenTTL %v", cfg.TokenTTL)
+	}
+	if cfg.TokenTTL > 0 && cfg.TokenEpochMS == 0 {
+		return nil, fmt.Errorf("fleet: TokenTTL %v set without TokenEpochMS — stamp the dispatcher's wall-clock birth so token expiry deadlines are absolute", cfg.TokenTTL)
 	}
 	metrics := newFleetMetrics(cfg.Metrics)
 	d := &Dispatcher{
@@ -295,17 +314,23 @@ func (d *Dispatcher) Dispatch(client ClientInfo, at time.Duration) (Assignment, 
 		Client:  client,
 		Lease:   LeaseID{Server: s.info.ID, Seq: r.leaseSeq},
 		Servers: servers,
-		Token:   d.mintToken(s.info.ID, r.leaseSeq),
+		Token:   d.mintToken(s.info.ID, r.leaseSeq, at),
 	}, nil
 }
 
 // mintToken authenticates one lease for the data plane on keyed fleets; the
-// zero token on open ones.
-func (d *Dispatcher) mintToken(serverID int, seq uint64) wire.Token {
+// zero token on open ones. With TokenTTL set, the token carries an absolute
+// unix-ms expiry — the configured epoch plus the caller-stamped elapsed
+// time plus the TTL — so minting stays deterministic.
+func (d *Dispatcher) mintToken(serverID int, seq uint64, at time.Duration) wire.Token {
 	if d.cfg.AuthKey == 0 {
 		return wire.Token{}
 	}
-	return wire.MintToken(d.cfg.AuthKey, uint32(serverID), seq)
+	var expires uint64
+	if d.cfg.TokenTTL > 0 {
+		expires = d.cfg.TokenEpochMS + uint64((at + d.cfg.TokenTTL).Milliseconds())
+	}
+	return wire.MintToken(d.cfg.AuthKey, uint32(serverID), seq, expires)
 }
 
 // Reassign moves a session whose server died mid-test to the best surviving
@@ -348,7 +373,7 @@ func (d *Dispatcher) Reassign(a Assignment, at time.Duration) (Assignment, error
 		out := Assignment{
 			Client: a.Client,
 			Lease:  LeaseID{Server: s.info.ID, Seq: r.leaseSeq},
-			Token:  d.mintToken(s.info.ID, r.leaseSeq),
+			Token:  d.mintToken(s.info.ID, r.leaseSeq, at),
 		}
 		out.Servers = append(out.Servers, s.info)
 		for _, other := range a.Servers {

@@ -522,3 +522,60 @@ func TestDispatchMintsLeaseTokens(t *testing.T) {
 		t.Errorf("open dispatcher issued token %v, want zero", a.Token)
 	}
 }
+
+// TestDispatchTokenExpiry pins the lease-deadline arithmetic: with TokenTTL
+// set, a token minted at elapsed time `at` expires exactly at
+// TokenEpochMS + at + TTL, deterministically — and without TokenEpochMS the
+// constructor refuses, forcing the live wrapper to stamp the epoch.
+func TestDispatchTokenExpiry(t *testing.T) {
+	const key = 0x5157494654455354
+	const epochMS = uint64(1_700_000_000_000)
+	plan, placements := threeTierPlan()
+	d, err := NewDispatcher(plan, placements, Config{
+		ActivatePlanned: true,
+		AuthKey:         key,
+		TokenTTL:        2 * time.Minute,
+		TokenEpochMS:    epochMS,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := 30 * time.Second
+	a, err := d.Dispatch(ClientInfo{Key: 1}, at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := epochMS + uint64((at + 2*time.Minute).Milliseconds())
+	if a.Token.Expires != want {
+		t.Errorf("token expires at %d, want epoch+at+ttl = %d", a.Token.Expires, want)
+	}
+	if !a.Token.Verify(key) {
+		t.Error("expiring token does not verify under the fleet key")
+	}
+	if a.Token.ExpiredAt(want) {
+		t.Error("token counts as expired at its own deadline")
+	}
+	if !a.Token.ExpiredAt(want + 1) {
+		t.Error("token still valid past its deadline")
+	}
+
+	// Without a TTL the token never expires.
+	noTTL, err := NewDispatcher(plan, placements, Config{ActivatePlanned: true, AuthKey: key})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := noTTL.Dispatch(ClientInfo{Key: 2}, at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2.Token.Expires != 0 {
+		t.Errorf("TTL-less token carries expiry %d, want 0", a2.Token.Expires)
+	}
+
+	// TTL without an epoch is a configuration error, not a silent footgun.
+	if _, err := NewDispatcher(plan, placements, Config{
+		ActivatePlanned: true, AuthKey: key, TokenTTL: time.Minute,
+	}); err == nil {
+		t.Error("NewDispatcher accepted TokenTTL without TokenEpochMS")
+	}
+}

@@ -44,6 +44,7 @@ var ctxFlowPackageSuffixes = []string{
 	"internal/baseline",
 	"internal/fleet",
 	"internal/loadgen",
+	"internal/earlystop",
 }
 
 // blockingReadFuncs are method names that block on network input.

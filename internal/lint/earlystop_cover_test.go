@@ -1,0 +1,97 @@
+package lint
+
+import "testing"
+
+// The earlystop package joins the deterministic core: training and
+// inference must be pure functions of their inputs so model artifacts and
+// Result streams stay byte-identical across reruns. These fixtures pin the
+// package into the seedflow, maporder, vtcore and ctxflow enforcement sets.
+
+func TestSeedflowCoversEarlystop(t *testing.T) {
+	runFixture(t, Seedflow, "example.com/internal/earlystop", map[string]string{
+		"train.go": `package earlystop
+
+import "math/rand"
+
+func BadShuffleRows(rows []int) {
+	rand.Shuffle(len(rows), func(i, j int) { rows[i], rows[j] = rows[j], rows[i] }) // want "global math/rand source call rand.Shuffle"
+}
+
+func BadInit() *rand.Rand {
+	return rand.New(rand.NewSource(1234)) // want "hard-coded rand seed"
+}
+
+func GoodSeeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+`,
+	})
+}
+
+func TestMaporderCoversEarlystop(t *testing.T) {
+	runFixture(t, Maporder, "example.com/internal/earlystop", map[string]string{
+		"rows.go": `package earlystop
+
+import "sort"
+
+// Bad: row order feeds gradient descent; map iteration order would make
+// the fitted weights differ across reruns.
+func BadCollectRows(byProfile map[string][]float64) []float64 {
+	var rows []float64
+	for _, rs := range byProfile {
+		rows = append(rows, rs...) // want "append to rows inside a range over a map"
+	}
+	return rows
+}
+
+func GoodCollectRows(byProfile map[string][]float64) []float64 {
+	names := make([]string, 0, len(byProfile))
+	for name := range byProfile {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var rows []float64
+	for _, name := range names {
+		rows = append(rows, byProfile[name]...)
+	}
+	return rows
+}
+`,
+	})
+}
+
+func TestVTCoreCoversEarlystop(t *testing.T) {
+	runFixture(t, VTCore, "example.com/internal/earlystop", map[string]string{
+		"replay.go": `package earlystop
+
+import "time"
+
+func Stamp() time.Time {
+	return time.Now() //lint:allow walltime tempting but wrong // want "inside virtual-time core package"
+}
+`,
+	})
+}
+
+func TestCtxFlowCoversEarlystop(t *testing.T) {
+	runFixture(t, CtxFlow, "example.com/internal/earlystop", map[string]string{
+		"replay.go": `package earlystop
+
+import "context"
+
+func BadParallelReplay(n int) { // want "exported BadParallelReplay starts a goroutine but accepts no context.Context"
+	for i := 0; i < n; i++ {
+		go func() {}()
+	}
+}
+
+func GoodReplay(ctx context.Context, n int) {
+	for i := 0; i < n; i++ {
+		if ctx.Err() != nil {
+			return
+		}
+	}
+}
+`,
+	})
+}

@@ -47,6 +47,7 @@ var seedflowPackageSuffixes = []string{
 	"internal/deploy",
 	"internal/core",
 	"internal/ranprofile",
+	"internal/earlystop",
 }
 
 // globalRandFuncs are the package-level math/rand functions that draw from

@@ -35,6 +35,7 @@ var vtCorePackageSuffixes = []string{
 	"internal/fleet",
 	"internal/loadgen",
 	"internal/ranprofile",
+	"internal/earlystop",
 }
 
 func runVTCore(pass *Pass) error {

@@ -44,6 +44,7 @@ const (
 	EventEstimate   = "estimate"    // value = estimate (Mbps), note = estimator name
 	EventRegime     = "bdp_regime"  // value = numeric regime code, note = regime name
 	EventRegimeHint = "regime_hint" // the regime fed back as a convergence hint; note = regime name
+	EventEarlyStop  = "early_stop"  // value = reported bandwidth, aux = model score, note = policy note
 )
 
 // Trace kinds emitted by the RAN profile state machine (package

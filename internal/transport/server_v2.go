@@ -45,12 +45,19 @@ func (s *Server) handleV2(typ wire.Type, pkt []byte, peer *net.UDPAddr, out []by
 			s.metrics.faultsInjected.Inc()
 			return out
 		}
-		if s.cfg.AuthKey != 0 && !setup.Token.Verify(s.cfg.AuthKey) {
-			s.metrics.authRejects.Inc()
-			s.logf("session auth rejected", "peer", peer.String(), "session_id", setup.SessionID)
-			rej := wire.SetupReject{SessionID: setup.SessionID, Code: wire.RejectAuth}
-			s.sendControl(rej.AppendTo(out), peer)
-			return out
+		if s.cfg.AuthKey != 0 {
+			// Forged and stale tokens share the RejectAuth path: the MAC
+			// covers the expiry deadline, so a client cannot stretch a lease
+			// by rewriting it.
+			expired := setup.Token.ExpiredAt(uint64(time.Now().UnixMilli()))
+			if !setup.Token.Verify(s.cfg.AuthKey) || expired {
+				s.metrics.authRejects.Inc()
+				s.logf("session auth rejected", "peer", peer.String(),
+					"session_id", setup.SessionID, "expired", expired)
+				rej := wire.SetupReject{SessionID: setup.SessionID, Code: wire.RejectAuth}
+				s.sendControl(rej.AppendTo(out), peer)
+				return out
+			}
 		}
 		if !s.handleSetup(&setup, peer) {
 			rej := wire.SetupReject{SessionID: setup.SessionID, Code: wire.RejectBusy}

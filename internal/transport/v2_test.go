@@ -179,7 +179,7 @@ func TestV2AuthRejection(t *testing.T) {
 
 	// Minted token: admitted.
 	okProbe := v2Probe(t, s, ProtoV2, 15)
-	okProbe.SetToken(wire.MintToken(key, 7, 42))
+	okProbe.SetToken(wire.MintToken(key, 7, 42, 0))
 	if err := okProbe.SetRate(10); err != nil {
 		t.Fatalf("authenticated SetRate: %v", err)
 	}
@@ -191,12 +191,59 @@ func TestV2AuthRejection(t *testing.T) {
 
 	// A forged token (wrong key) is refused like a missing one.
 	forged := v2Probe(t, s, ProtoV2, 16)
-	forged.SetToken(wire.MintToken(key^1, 7, 42))
+	forged.SetToken(wire.MintToken(key^1, 7, 42, 0))
 	err = forged.SetRate(10)
 	forged.Finish(0, 0)
 	if !errors.Is(err, errdefs.ErrAuthRejected) {
 		t.Errorf("forged-token error = %v, want errdefs.ErrAuthRejected", err)
 	}
+}
+
+// TestV2TokenExpiry is the lease-deadline round trip: a token whose expiry
+// already passed is rejected at setup exactly like a forged one, a token
+// whose deadline is still ahead is admitted, and the client cannot stretch
+// a stale deadline because the MAC covers it.
+func TestV2TokenExpiry(t *testing.T) {
+	const key = 0xfeedface87654321
+	reg := obs.NewRegistry()
+	s := startServer(t, ServerConfig{UplinkMbps: 100, AuthKey: key, Metrics: reg})
+	nowMS := uint64(time.Now().UnixMilli())
+
+	// Expired a minute ago: RejectAuth, counted.
+	stale := v2Probe(t, s, ProtoV2, 24)
+	stale.SetToken(wire.MintToken(key, 7, 42, nowMS-60_000))
+	err := stale.SetRate(10)
+	stale.Finish(0, 0)
+	if !errors.Is(err, errdefs.ErrAuthRejected) {
+		t.Fatalf("stale-token error = %v, want errdefs.ErrAuthRejected", err)
+	}
+	if got := reg.Counter("swiftest_server_auth_rejects_total", "").Value(); got == 0 {
+		t.Error("auth-reject counter did not move on an expired token")
+	}
+
+	// Same stale token with the deadline rewritten forward: the MAC no
+	// longer verifies, so the stretch buys nothing.
+	stretched := wire.MintToken(key, 7, 42, nowMS-60_000)
+	stretched.Expires = nowMS + 3_600_000
+	cheat := v2Probe(t, s, ProtoV2, 25)
+	cheat.SetToken(stretched)
+	err = cheat.SetRate(10)
+	cheat.Finish(0, 0)
+	if !errors.Is(err, errdefs.ErrAuthRejected) {
+		t.Errorf("stretched-token error = %v, want errdefs.ErrAuthRejected", err)
+	}
+
+	// An hour of validity left: admitted and served.
+	fresh := v2Probe(t, s, ProtoV2, 26)
+	fresh.SetToken(wire.MintToken(key, 7, 42, nowMS+3_600_000))
+	if err := fresh.SetRate(10); err != nil {
+		t.Fatalf("fresh-token SetRate: %v", err)
+	}
+	fresh.NextSample()
+	if v, ok := fresh.NextSample(); !ok || v <= 0 {
+		t.Errorf("fresh-token session sample = (%.1f, %v), want traffic", v, ok)
+	}
+	fresh.Finish(0, 0)
 }
 
 // TestV1ClientAdmittedByKeyedServer pins the compatibility policy: lease

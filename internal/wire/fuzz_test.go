@@ -22,7 +22,7 @@ func FuzzDecode(f *testing.F) {
 	f.Add((&Fin{TestID: 14, ResultKbps: 15, DurationMS: 16}).AppendTo(nil))
 	f.Add((&FinAck{TestID: 17}).AppendTo(nil))
 	f.Add((&Hello{MinVersion: 1, MaxVersion: 2, Caps: 3, Nonce: 18}).AppendTo(nil))
-	f.Add((&Setup{SessionID: 19, RateKbps: 20, Token: MintToken(1, 2, 3)}).AppendTo(nil))
+	f.Add((&Setup{SessionID: 19, RateKbps: 20, Token: MintToken(1, 2, 3, 4)}).AppendTo(nil))
 	f.Add((&Rate2{SessionID: 21, RateKbps: 22, Seq: 23}).AppendTo(nil))
 	f.Add((&Report{SessionID: 24, Seq: 25, SentBytes: 26, SentDatagrams: 27}).AppendTo(nil))
 	f.Add((&Data2{SessionID: 28, Seq: 29, SentNS: 30, Payload: []byte{4, 5}}).AppendTo(nil))

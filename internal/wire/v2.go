@@ -156,33 +156,44 @@ func checkHeader2(b []byte, want Type, bodyLen int) error {
 }
 
 // Token authenticates a v2 session against the fleet dispatcher's lease: the
-// dispatcher mints it from (server, lease seq) under a shared key, and any
-// server holding the key verifies it without state. The MAC is SipHash-2-4,
-// so a client cannot forge admission without the fleet key.
+// dispatcher mints it from (server, lease seq, expiry) under a shared key,
+// and any server holding the key verifies it without state. The MAC is
+// SipHash-2-4, so a client cannot forge admission — or stretch a lease's
+// lifetime — without the fleet key.
 type Token struct {
-	Server uint32 // fleet server ID the lease admits the client to
-	Seq    uint64 // lease sequence number
-	MAC    uint64 // SipHash-2-4 over (Server, Seq) under the fleet key
+	Server  uint32 // fleet server ID the lease admits the client to
+	Seq     uint64 // lease sequence number
+	Expires uint64 // unix-ms expiry deadline; 0 means the token never expires
+	MAC     uint64 // SipHash-2-4 over (Server, Seq, Expires) under the fleet key
 }
 
 // TokenLen is the encoded size of a Token.
-const TokenLen = 20
+const TokenLen = 28
 
-// MintToken authenticates (server, seq) under key. A deployment's dispatcher
-// and servers share the key out of band (CLI flag, config file).
-func MintToken(key uint64, server uint32, seq uint64) Token {
-	return Token{Server: server, Seq: seq, MAC: tokenMAC(key, server, seq)}
+// MintToken authenticates (server, seq) under key until expires (unix-ms; 0
+// mints a token that never expires). A deployment's dispatcher and servers
+// share the key out of band (CLI flag, config file).
+func MintToken(key uint64, server uint32, seq uint64, expires uint64) Token {
+	return Token{Server: server, Seq: seq, Expires: expires, MAC: tokenMAC(key, server, seq, expires)}
 }
 
-// Verify reports whether t's MAC is valid under key.
+// Verify reports whether t's MAC is valid under key. Expiry is a separate
+// check (ExpiredAt) — the MAC covers Expires, so a stale token cannot be
+// refreshed by rewriting the deadline.
 func (t Token) Verify(key uint64) bool {
-	return t.MAC == tokenMAC(key, t.Server, t.Seq)
+	return t.MAC == tokenMAC(key, t.Server, t.Seq, t.Expires)
+}
+
+// ExpiredAt reports whether t's lease deadline has passed at nowMS (unix
+// milliseconds). Tokens minted with Expires 0 never expire.
+func (t Token) ExpiredAt(nowMS uint64) bool {
+	return t.Expires != 0 && nowMS > t.Expires
 }
 
 // IsZero reports whether t is the absent token.
 func (t Token) IsZero() bool { return t == Token{} }
 
-// String encodes t as 40 hex characters, the form it travels in JSON control
+// String encodes t as 56 hex characters, the form it travels in JSON control
 // planes and CLI flags.
 func (t Token) String() string {
 	var b [TokenLen]byte
@@ -204,21 +215,24 @@ func ParseToken(s string) (Token, error) {
 func (t Token) put(b []byte) {
 	binary.BigEndian.PutUint32(b[0:4], t.Server)
 	binary.BigEndian.PutUint64(b[4:12], t.Seq)
-	binary.BigEndian.PutUint64(b[12:20], t.MAC)
+	binary.BigEndian.PutUint64(b[12:20], t.Expires)
+	binary.BigEndian.PutUint64(b[20:28], t.MAC)
 }
 
 func (t *Token) get(b []byte) {
 	t.Server = binary.BigEndian.Uint32(b[0:4])
 	t.Seq = binary.BigEndian.Uint64(b[4:12])
-	t.MAC = binary.BigEndian.Uint64(b[12:20])
+	t.Expires = binary.BigEndian.Uint64(b[12:20])
+	t.MAC = binary.BigEndian.Uint64(b[20:28])
 }
 
-// tokenMAC computes SipHash-2-4 over the 12-byte (server, seq) message with
-// the 128-bit key (key, key ^ sipKeySplit).
-func tokenMAC(key uint64, server uint32, seq uint64) uint64 {
-	var msg [12]byte
+// tokenMAC computes SipHash-2-4 over the 20-byte (server, seq, expires)
+// message with the 128-bit key (key, key ^ sipKeySplit).
+func tokenMAC(key uint64, server uint32, seq uint64, expires uint64) uint64 {
+	var msg [20]byte
 	binary.LittleEndian.PutUint32(msg[0:4], server)
 	binary.LittleEndian.PutUint64(msg[4:12], seq)
+	binary.LittleEndian.PutUint64(msg[12:20], expires)
 	return sipHash24(key, key^sipKeySplit, msg[:])
 }
 

@@ -13,7 +13,7 @@ type v2codec interface {
 }
 
 func TestV2RoundTrips(t *testing.T) {
-	tok := MintToken(0xfeedface, 7, 99)
+	tok := MintToken(0xfeedface, 7, 99, 1700000000000)
 	msgs := []struct {
 		name    string
 		msg     v2codec
@@ -145,7 +145,7 @@ func TestV2TypeStrings(t *testing.T) {
 
 func TestTokenMintVerify(t *testing.T) {
 	const key = uint64(0x1122334455667788)
-	tok := MintToken(key, 3, 42)
+	tok := MintToken(key, 3, 42, 1700000000000)
 	if !tok.Verify(key) {
 		t.Fatal("freshly minted token fails verification")
 	}
@@ -162,6 +162,11 @@ func TestTokenMintVerify(t *testing.T) {
 	if forged.Verify(key) {
 		t.Error("tampered server still verifies")
 	}
+	forged = tok
+	forged.Expires += 60_000
+	if forged.Verify(key) {
+		t.Error("stretched expiry still verifies — the MAC must cover Expires")
+	}
 	if tok.IsZero() {
 		t.Error("minted token reads as zero")
 	}
@@ -170,8 +175,26 @@ func TestTokenMintVerify(t *testing.T) {
 	}
 }
 
+func TestTokenExpiredAt(t *testing.T) {
+	const deadline = uint64(1_700_000_000_000)
+	tok := MintToken(9, 1, 2, deadline)
+	if tok.ExpiredAt(deadline - 1) {
+		t.Error("token expired before its deadline")
+	}
+	if tok.ExpiredAt(deadline) {
+		t.Error("token expired at its deadline — the deadline instant is still valid")
+	}
+	if !tok.ExpiredAt(deadline + 1) {
+		t.Error("token still valid past its deadline")
+	}
+	forever := MintToken(9, 1, 2, 0)
+	if forever.ExpiredAt(^uint64(0)) {
+		t.Error("zero-deadline token expired")
+	}
+}
+
 func TestTokenStringRoundTrip(t *testing.T) {
-	tok := MintToken(7, 2, 1001)
+	tok := MintToken(7, 2, 1001, 1700000000123)
 	s := tok.String()
 	if len(s) != 2*TokenLen {
 		t.Fatalf("token hex length = %d, want %d", len(s), 2*TokenLen)
@@ -197,7 +220,7 @@ func TestTokenMACDistribution(t *testing.T) {
 	seen := map[uint64]bool{}
 	for server := uint32(0); server < 8; server++ {
 		for seq := uint64(0); seq < 64; seq++ {
-			mac := MintToken(1, server, seq).MAC
+			mac := MintToken(1, server, seq, 0).MAC
 			if seen[mac] {
 				t.Fatalf("MAC collision at server=%d seq=%d", server, seq)
 			}
@@ -236,8 +259,8 @@ func TestSipHashVectors(t *testing.T) {
 }
 
 func TestTokenPropertyRoundTrip(t *testing.T) {
-	f := func(key uint64, server uint32, seq uint64) bool {
-		tok := MintToken(key, server, seq)
+	f := func(key uint64, server uint32, seq uint64, expires uint64) bool {
+		tok := MintToken(key, server, seq, expires)
 		back, err := ParseToken(tok.String())
 		return err == nil && back == tok && back.Verify(key)
 	}

@@ -179,6 +179,7 @@ func SimulateTestContext(ctx context.Context, link LinkConfig, model *Model, opt
 		Trace:      opts.Trace,
 		Metrics:    core.NewEngineMetrics(opts.Metrics),
 		RegimeHint: opts.RegimeHint,
+		Terminate:  opts.Terminate,
 	})
 	if err != nil {
 		return Result{}, err

@@ -345,10 +345,24 @@ func ParseProtocol(s string) (Protocol, error) { return transport.ParseProtocol(
 type AuthToken = wire.Token
 
 // MintAuthToken authenticates (server, seq) under the deployment key — what
-// the fleet dispatcher does per lease. Self-serve clients of an open
-// (unkeyed) deployment never need one.
+// the fleet dispatcher does per lease. The token never expires; keyed
+// fleets that bound lease lifetimes mint with MintAuthTokenExpiring (or set
+// FleetConfig.TokenTTL). Self-serve clients of an open (unkeyed) deployment
+// never need one.
 func MintAuthToken(key uint64, server uint32, seq uint64) AuthToken {
-	return wire.MintToken(key, server, seq)
+	return wire.MintToken(key, server, seq, 0)
+}
+
+// MintAuthTokenExpiring authenticates (server, seq) under the deployment
+// key until the expires instant, after which servers reject the token at
+// session setup. The MAC covers the deadline, so holders cannot extend it.
+// A zero expires time mints a non-expiring token.
+func MintAuthTokenExpiring(key uint64, server uint32, seq uint64, expires time.Time) AuthToken {
+	var ms uint64
+	if !expires.IsZero() {
+		ms = uint64(expires.UnixMilli())
+	}
+	return wire.MintToken(key, server, seq, ms)
 }
 
 // ParseAuthToken decodes the hex form produced by AuthToken.String — the
@@ -376,6 +390,11 @@ type SessionOptions struct {
 	// TestContext rejects a non-nil plan, because real servers inject
 	// their own faults via ServerOptions.FaultPlan.
 	Faults *FaultPlan
+	// Terminate selects the termination policy deciding when the test has
+	// measured enough: CrossingTermination (the paper's §5.1 rule, the
+	// default), FastBTSTermination, or EarlyStopTermination (the learned
+	// model). Nil selects the crossing rule.
+	Terminate TerminationPolicy
 }
 
 // TestOptions configures a client-side bandwidth test.
@@ -479,6 +498,7 @@ func TestContext(ctx context.Context, opts TestOptions) (Result, error) {
 		Trace:       opts.Trace,
 		Metrics:     core.NewEngineMetrics(opts.Metrics),
 		RegimeHint:  opts.RegimeHint,
+		Terminate:   opts.Terminate,
 	})
 	jitter := probe.Jitter()
 	probe.SetFinalReport(res.Estimates, res.Regime)

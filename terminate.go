@@ -1,0 +1,85 @@
+package swiftest
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/mobilebandwidth/swiftest/internal/core"
+	"github.com/mobilebandwidth/swiftest/internal/earlystop"
+)
+
+// TerminationPolicy decides, after every 50 ms sample, whether a bandwidth
+// test has measured enough. Three implementations ship with the library:
+// CrossingTermination (the paper's §5.1 stability window, the default),
+// FastBTSTermination (FastBTS's crucial-interval agreement), and the
+// learned EarlyStopTermination. Set one on SessionOptions.Terminate.
+type TerminationPolicy = core.TerminationPolicy
+
+// CrossingTermination is the paper's §5.1 stopping rule: stop when the last
+// Window samples agree within Threshold, reporting their mean. The zero
+// value selects the published parameters (10 samples, 3 %).
+type CrossingTermination = core.CrossingPolicy
+
+// FastBTSTermination is FastBTS's crucial-interval stopping rule (NSDI '21)
+// applied to the Swiftest engine's sample stream. The zero value selects
+// the baseline prober's parameters.
+type FastBTSTermination = core.FastBTSPolicy
+
+// EarlyStopModel is a trained learned-termination model
+// (swiftest-earlystop-model/v1). Obtain one from DefaultEarlyStopModel,
+// ParseEarlyStopModel, or the `swiftest earlystop train` pipeline.
+type EarlyStopModel = earlystop.Model
+
+// EarlyStopTermination is the learned TURBOTEST-style policy over model;
+// a nil model selects the embedded default. The §5.1 crossing rule remains
+// its fallback, so it never stops later than the default policy.
+func EarlyStopTermination(model *EarlyStopModel) TerminationPolicy {
+	return earlystop.NewPolicy(model)
+}
+
+// DefaultEarlyStopModel returns the embedded default earlystop model,
+// trained offline over the built-in RAN profile library. The returned
+// model is shared and read-only.
+func DefaultEarlyStopModel() *EarlyStopModel { return earlystop.Default() }
+
+// ParseEarlyStopModel loads a model artifact produced by
+// (*EarlyStopModel).Encode or `swiftest earlystop train`.
+func ParseEarlyStopModel(data []byte) (*EarlyStopModel, error) { return earlystop.Parse(data) }
+
+// ParseTerminationPolicy maps a policy name — "crossing", "fastbts",
+// "earlystop" — to its default-parameterised implementation. The empty
+// string selects nil (the engine's crossing default), so it can sit
+// directly behind a CLI flag.
+func ParseTerminationPolicy(name string) (TerminationPolicy, error) {
+	switch name {
+	case "":
+		return nil, nil
+	case "crossing":
+		return CrossingTermination{}, nil
+	case "fastbts":
+		return FastBTSTermination{}, nil
+	case "earlystop":
+		return earlystop.NewPolicy(nil), nil
+	default:
+		return nil, fmt.Errorf("swiftest: unknown termination policy %q (known: crossing, fastbts, earlystop)", name)
+	}
+}
+
+// EarlyStopTrainOptions parameterise EarlyStop model fitting; see
+// earlystop.TrainOptions for the per-field defaults.
+type EarlyStopTrainOptions = earlystop.TrainOptions
+
+// EarlyStopReplayConfig parameterises the labeling replay behind
+// TrainEarlyStopModel: RAN profiles × fault cases × seeded runs, labeled
+// against flooding ground truth.
+type EarlyStopReplayConfig = earlystop.ReplayConfig
+
+// EarlyStopRow is one labeled training example emitted by the replay.
+type EarlyStopRow = earlystop.Row
+
+// TrainEarlyStopModel replays seeded campaign scenarios and fits an
+// earlystop model. Deterministic: the same configs produce a
+// byte-identical Encode artifact and identical rows.
+func TrainEarlyStopModel(ctx context.Context, rcfg EarlyStopReplayConfig, topts EarlyStopTrainOptions) (*EarlyStopModel, []EarlyStopRow, error) {
+	return earlystop.TrainFromReplay(ctx, rcfg, topts)
+}
